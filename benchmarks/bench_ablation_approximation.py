@@ -1,0 +1,30 @@
+"""Ablation: tabular Q-learning vs linear function approximation.
+
+Section 7 suggests "using generalization functions to approximate the
+Q-learning values" as future work.  This bench trains a per-type linear
+Q-function on the same platform and compares the extracted policies:
+the approximation should stay competitive while using orders of
+magnitude fewer parameters than the table.
+"""
+
+from conftest import run_once
+from repro.experiments.ablations import ablation_approximation
+
+
+def test_ablation_function_approximation(benchmark, scenario):
+    result = run_once(benchmark, lambda: ablation_approximation(scenario))
+    print()
+    print(result.render())
+
+    tabular = result.relative_costs["tabular + selection tree"]
+    approx = result.relative_costs["linear approximation"]
+    # Both save downtime; the table (with its exact tree extraction)
+    # remains the stronger representation at this data scale.
+    assert tabular < 0.93
+    assert approx < 1.05
+    assert tabular <= approx + 0.02
+    # The approximation's selling point: drastically fewer parameters.
+    assert (
+        result.parameters["linear approximation"]
+        < result.parameters["tabular + selection tree"]
+    )

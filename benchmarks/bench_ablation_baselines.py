@@ -1,0 +1,31 @@
+"""Ablation: policy families on the same split.
+
+Backs the introduction's framing: model-free Q-learning is competitive
+with the model-based route (Joshi et al.) given the same log, and both
+crush the naive static policies — always going straight to the manual
+repair is catastrophically expensive, always retrying the cheapest
+action wastes observation time.
+"""
+
+from conftest import run_once
+from repro.experiments.ablations import ablation_baselines
+
+
+def test_ablation_policy_families(benchmark, scenario):
+    result = run_once(benchmark, lambda: ablation_baselines(scenario))
+    print()
+    print(result.render())
+
+    rel = result.relative_costs
+    # The reference point.
+    assert abs(rel["user-defined"] - 1.0) < 1e-9
+    # The RL-trained policy saves >10%, hybrid close behind.
+    assert rel["trained (RL)"] < 0.93
+    assert rel["hybrid"] < 0.95
+    # Model-based value iteration on the empirical belief MDP is in the
+    # same band as model-free Q-learning (within a few points).
+    assert abs(rel["model-based (VI)"] - rel["trained (RL)"]) < 0.08
+    # Static baselines are not competitive.
+    assert rel["always-strongest"] > 5.0
+    assert rel["random"] > 2.0
+    assert rel["always-cheapest"] > 1.05

@@ -1,0 +1,34 @@
+"""Ablation: selection-tree threshold sensitivity (DESIGN.md item 3).
+
+The threshold controls how close a second-best action must be to join
+the candidate tree.  Zero reduces the tree to pure greedy extraction
+(plus root branching); wider values enumerate more candidates per check
+— cheaper insurance against Q noise than more sweeps, because candidate
+evaluation is exact replay.
+"""
+
+from conftest import run_once
+from repro.experiments.sensitivity import sweep_tree_threshold
+
+
+def test_ablation_tree_threshold(benchmark, scenario):
+    result = run_once(
+        benchmark,
+        lambda: sweep_tree_threshold(
+            scenario, thresholds=(0.0, 0.1, 0.3, 0.6)
+        ),
+    )
+    print()
+    print(result.render())
+
+    points = {p.threshold: p for p in result.points}
+    # Candidate count grows monotonically with the threshold.
+    candidates = [points[t].mean_candidates for t in (0.0, 0.1, 0.3, 0.6)]
+    assert all(a <= b + 1e-9 for a, b in zip(candidates, candidates[1:]))
+    # Every setting beats the incumbent (the conservative guard sees to
+    # that), and the default 0.3 band is at least as good as greedy-only.
+    for point in result.points:
+        assert point.relative_cost < 1.0
+    assert (
+        points[0.3].relative_cost <= points[0.0].relative_cost + 0.02
+    )

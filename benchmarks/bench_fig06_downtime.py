@@ -1,0 +1,26 @@
+"""Figure 6: total downtime per error type under the user-defined policy.
+
+Paper shape: a log-scale spread over several orders of magnitude, not
+monotone in frequency rank (rare hardware-bound types cost more per
+process than frequent transient ones).
+"""
+
+import math
+
+from conftest import run_once
+from repro.experiments.figures import fig6_downtime
+
+
+def test_fig6_total_downtime_per_type(benchmark, scenario):
+    result = run_once(benchmark, lambda: fig6_downtime(scenario))
+    print()
+    print(result.render())
+
+    downtimes = [result.series[r] for r in sorted(result.series)]
+    assert len(downtimes) == 40
+    assert all(v > 0 for v in downtimes)
+    # Spread spans at least two orders of magnitude (paper: ~10^1..10^7).
+    assert max(downtimes) / min(downtimes) > 100
+    # Downtime is NOT simply sorted by frequency rank: per-process cost
+    # differences (hardware vs transient) break the ordering.
+    assert downtimes != sorted(downtimes, reverse=True)

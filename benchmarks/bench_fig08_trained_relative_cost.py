@@ -1,0 +1,34 @@
+"""Figure 8: relative time cost of the trained policy per error type.
+
+Paper shape: four curves (20/40/60/80% training); most types sit at
+~1.0 (the ladder was already near-optimal for them), a few improved
+types drop to roughly half, and small deviations both ways reflect
+simulation error.
+"""
+
+from conftest import run_once
+from repro.experiments.figures import fig8_trained_relative_cost
+
+
+def test_fig8_trained_relative_cost(benchmark, scenario):
+    result = run_once(
+        benchmark, lambda: fig8_trained_relative_cost(scenario)
+    )
+    print()
+    print(result.render())
+
+    for evaluation in result.evaluations:
+        ratios = list(evaluation.relative_costs().values())
+        # Most types match the original policy almost exactly.
+        near_one = sum(1 for r in ratios if 0.95 <= r <= 1.05)
+        assert near_one >= len(ratios) * 0.6, (
+            f"{evaluation.train_fraction}: only {near_one} of "
+            f"{len(ratios)} types near 1.0"
+        )
+        # A few types improve dramatically (paper: types 1, 35, 39 at
+        # roughly half cost).
+        improved = [r for r in ratios if r < 0.8]
+        assert len(improved) >= 2
+        assert min(ratios) < 0.65
+        # No type collapses: nothing wildly above the original policy.
+        assert max(ratios) < 1.6

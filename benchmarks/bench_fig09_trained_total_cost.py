@@ -1,0 +1,26 @@
+"""Figure 9: total time cost of the trained policy across the four tests.
+
+Paper shape: the trained policy always saves more than 10% of total
+downtime; the 40% split scores 89.02% of the original.  Totals count
+only the cases the trained policy can handle, exactly as the paper
+does.
+"""
+
+from conftest import run_once
+from repro.experiments.figures import fig9_trained_total_cost
+
+
+def test_fig9_trained_total_cost(benchmark, scenario):
+    result = run_once(benchmark, lambda: fig9_trained_total_cost(scenario))
+    print()
+    print(result.render())
+
+    by_fraction = result.relative_by_fraction()
+    assert set(by_fraction) == {0.2, 0.4, 0.6, 0.8}
+    for fraction, relative in by_fraction.items():
+        # "the trained policy can always gain over 10% time savings"
+        assert relative < 0.93, f"fraction {fraction}: {relative:.4f}"
+        # ... but it cannot be magic either.
+        assert relative > 0.6
+    # The headline split (40%) lands in the paper's band.
+    assert 0.75 < by_fraction[0.4] < 0.92

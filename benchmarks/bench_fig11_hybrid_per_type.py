@@ -1,0 +1,40 @@
+"""Figure 11 (a)(b): trained vs hybrid policy per error type.
+
+Paper shape: at 20% training the hybrid occasionally pays extra on
+types whose test patterns the training set missed (their type 23); at
+40% the two are nearly identical while the hybrid covers everything.
+"""
+
+from conftest import run_once
+from repro.experiments.figures import fig11_hybrid_per_type
+
+
+def test_fig11_trained_vs_hybrid(benchmark, scenario):
+    results = run_once(benchmark, lambda: fig11_hybrid_per_type(scenario))
+    print()
+    for result in results:
+        print(result.render())
+        print()
+
+    for result, fraction in zip(results, (0.2, 0.4)):
+        trained_eval, hybrid_eval = result.evaluations
+        assert trained_eval.train_fraction == fraction
+        # The hybrid covers every case the user-defined policy covers.
+        assert hybrid_eval.overall_coverage == 1.0
+        # Overall, the hybrid keeps nearly all of the trained savings.
+        assert (
+            hybrid_eval.overall_relative_cost
+            <= trained_eval.overall_relative_cost + 0.06
+        )
+        assert hybrid_eval.overall_relative_cost < 0.95
+
+    # With more training data the hybrid hugs the trained policy more
+    # tightly (paper: Figure 11(b) vs 11(a)).
+    def gap(result):
+        trained_eval, hybrid_eval = result.evaluations
+        return abs(
+            hybrid_eval.overall_relative_cost
+            - trained_eval.overall_relative_cost
+        )
+
+    assert gap(results[1]) <= gap(results[0]) + 0.02

@@ -1,0 +1,39 @@
+"""Figure 14: policy quality, with vs without the selection tree.
+
+Paper shape: within the sweep budget, tree-extracted policies match the
+optimum while some standard courses land on worse policies (their plot
+shows spikes above 1 for the standard method only).
+"""
+
+from conftest import run_once
+from repro.experiments.figures import fig14_selection_tree_quality
+
+
+def test_fig14_selection_tree_quality(benchmark, scenario):
+    result = run_once(
+        benchmark, lambda: fig14_selection_tree_quality(scenario)
+    )
+    print()
+    print(result.render_fig14())
+    print(
+        f"overall: with tree = {result.tree_eval.overall_relative_cost:.4f}, "
+        f"without tree = {result.standard_eval.overall_relative_cost:.4f}"
+    )
+
+    tree_rel = result.tree_eval.overall_relative_cost
+    standard_rel = result.standard_eval.overall_relative_cost
+    # The tree method never loses to the standard course overall.
+    assert tree_rel <= standard_rel + 0.01
+    # The tree policy actually saves downtime.
+    assert tree_rel < 0.93
+    # The standard course shows at least one per-type quality spike the
+    # tree avoids (the paper's above-1 outliers).
+    standard_spikes = [
+        r
+        for r in result.standard_eval.relative_costs().values()
+        if r > 1.1
+    ]
+    tree_spikes = [
+        r for r in result.tree_eval.relative_costs().values() if r > 1.1
+    ]
+    assert len(tree_spikes) <= len(standard_spikes)

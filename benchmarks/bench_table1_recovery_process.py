@@ -1,0 +1,21 @@
+"""Table 1: an example recovery process in ``<time, description>`` rows."""
+
+from conftest import run_once
+from repro.experiments.figures import table1_example_process
+
+
+def test_table1_example_recovery_process(benchmark, scenario):
+    result = run_once(benchmark, lambda: table1_example_process(scenario))
+    print()
+    print(result.render())
+
+    process = result.process
+    # The paper's example shows symptoms, escalating repair actions and a
+    # closing success report on one machine.
+    assert process.entries[0].is_symptom
+    assert process.entries[-1].is_success
+    assert len(process.actions) >= 2
+    assert process.downtime > 0
+    catalog_order = {"TRYNOP": 0, "REBOOT": 1, "REIMAGE": 2, "RMA": 3}
+    strengths = [catalog_order[a] for a in process.actions]
+    assert strengths == sorted(strengths)

@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite.
+
+All benchmarks run against one memoized default scenario so the trace,
+the mining artifacts and the four trained bundles are built once per
+session.  Every benchmark prints the same rows/series the paper's
+table or figure reports (run with ``-s`` to see them) and asserts the
+reproduction's *shape*: who wins, by roughly what factor, where the
+crossovers fall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenario import Scenario, default_scenario
+
+
+@pytest.fixture(scope="session")
+def scenario() -> Scenario:
+    """The calibrated synthetic trace plus derived artifacts."""
+    return default_scenario(seed=7)
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic and heavy; statistical repetition
+    would only burn minutes without changing the reported series.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Adaptation to a changing environment without human involvement.
+
+The paper argues a key benefit of learning-based policy generation:
+when symptoms or fault behaviour drift, retraining on fresh history
+adapts the policy automatically.  This example simulates exactly that:
+
+* Era 1: a frequent fault family is reboot-curable; the learned policy
+  correctly keeps the cheap ladder.
+* Era 2: a software regression makes the same symptom reimage-needing
+  (reboots stop working); operators change nothing.
+
+A policy trained on era-1 history wastes reboots throughout era 2; the
+retrained policy jumps straight to REIMAGE, recovering the savings.
+
+Run:  python examples/adaptive_recovery.py
+"""
+
+from repro import RecoveryPolicyLearner, default_catalog
+from repro.cluster import ClusterConfig, ClusterSimulator, FaultCatalog, FaultType
+from repro.core import PipelineConfig
+from repro.learning.qlearning import QLearningConfig
+from repro.learning.selection_tree import SelectionTreeConfig
+from repro.policies import UserDefinedPolicy
+from repro.util.rng import RngStreams
+
+DAY = 86_400.0
+
+
+def simulate_era(cures, seed):
+    """One era of cluster history for the drifting fault family."""
+    catalog = default_catalog()
+    faults = FaultCatalog(
+        [
+            FaultType(
+                name="drifting",
+                primary_symptom="error:Svc-Watchdog",
+                secondary_symptoms=("warn:Svc-Latency",),
+                cure_probabilities=cures,
+                weight=1.0,
+            ),
+            FaultType(
+                name="steady",
+                primary_symptom="error:Disk-Crc",
+                cure_probabilities={"TRYNOP": 0.6, "REBOOT": 0.9},
+                weight=1.0,
+            ),
+        ]
+    )
+    simulator = ClusterSimulator(
+        ClusterConfig(
+            machine_count=120,
+            duration=90 * DAY,
+            mean_time_between_failures=5 * DAY,
+            noise_probability=0.0,
+        ),
+        faults,
+        UserDefinedPolicy(catalog),
+        catalog,
+        RngStreams(seed),
+    )
+    return simulator.run().to_processes()
+
+
+def fit(processes):
+    config = PipelineConfig(
+        top_k_types=2,
+        qlearning=QLearningConfig(max_sweeps=150, episodes_per_sweep=24),
+        tree=SelectionTreeConfig(min_sweeps=40, check_interval=20),
+    )
+    return RecoveryPolicyLearner(config=config).fit(processes)
+
+
+def score(policy, processes, learner):
+    evaluator = learner.make_evaluator(processes, filter_test_noise=False)
+    return evaluator.evaluate(policy).overall_relative_cost
+
+
+def first_action(learner, error_type):
+    from repro.mdp.state import RecoveryState
+
+    return learner.rules_[RecoveryState.initial(error_type)][0]
+
+
+def main() -> None:
+    print("Era 1: the Svc-Watchdog fault is reboot-curable ...")
+    era1 = simulate_era(
+        {"TRYNOP": 0.35, "REBOOT": 0.9, "REIMAGE": 0.97}, seed=11
+    )
+    learner1 = fit(era1)
+    print(f"  learned first action for error:Svc-Watchdog: "
+          f"{first_action(learner1, 'error:Svc-Watchdog')}")
+
+    print("\nEra 2: a regression ships — reboots stop curing it ...")
+    era2 = simulate_era(
+        {"TRYNOP": 0.01, "REBOOT": 0.03, "REIMAGE": 0.97}, seed=12
+    )
+
+    stale = score(learner1.hybrid_policy(), era2, learner1)
+    print(f"  era-1 policy on era-2 history: relative downtime {stale:.4f}")
+
+    print("\nRetraining on era-2 history (no human involvement) ...")
+    learner2 = fit(era2)
+    fresh = score(learner2.hybrid_policy(), era2, learner2)
+    print(f"  retrained first action for error:Svc-Watchdog: "
+          f"{first_action(learner2, 'error:Svc-Watchdog')}")
+    print(f"  retrained policy on era-2 history: relative downtime "
+          f"{fresh:.4f}")
+
+    print(f"\nAdaptation recovered {stale - fresh:.1%} of downtime: the "
+          "retrained policy skips the\nnow-useless reboots and reimages "
+          "immediately, exactly the paper's adaptation claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare recovery-policy families on the same held-out future.
+
+Puts the paper's RL-trained policy side by side with:
+
+* the user-defined cheapest-first ladder (the incumbent, ratio 1.0),
+* the hybrid policy (Section 3.4),
+* a model-based comparator — value iteration on the empirical belief
+  MDP estimated from the same log (the route of Joshi et al., whom the
+  paper's introduction contrasts with),
+* naive static baselines.
+
+Run:  python examples/policy_comparison.py
+"""
+
+from repro import (
+    RecoveryPolicyLearner,
+    UserDefinedPolicy,
+    default_catalog,
+    default_config,
+    generate_trace,
+    time_ordered_split,
+)
+from repro.mdp.empirical import EmpiricalMDPPolicy
+from repro.mining import filter_noise
+from repro.policies import (
+    AlwaysCheapestPolicy,
+    AlwaysStrongestPolicy,
+    RandomPolicy,
+)
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    catalog = default_catalog()
+    print("Generating the workload and training (about half a minute) ...")
+    trace = generate_trace(default_config(seed=7))
+    train, test = time_ordered_split(trace.log.to_processes(), 0.4)
+
+    learner = RecoveryPolicyLearner(catalog).fit(train)
+    assert learner.registry_ is not None
+
+    clean_train = filter_noise(train).clean
+    groups = learner.registry_.partition(clean_train)
+    model_based = EmpiricalMDPPolicy.fit(groups, catalog)
+
+    evaluator = learner.make_evaluator(test, filter_test_noise=False)
+    policies = [
+        ("user-defined (incumbent)", UserDefinedPolicy(catalog)),
+        ("trained (Q-learning)", learner.trained_policy()),
+        ("hybrid (trained + fallback)", learner.hybrid_policy()),
+        ("model-based (value iteration)", model_based),
+        ("always-cheapest", AlwaysCheapestPolicy(catalog)),
+        ("always-strongest", AlwaysStrongestPolicy(catalog)),
+        ("random", RandomPolicy(catalog, seed=0)),
+    ]
+
+    rows = []
+    for label, policy in policies:
+        result = evaluator.evaluate(policy)
+        rows.append(
+            (
+                label,
+                f"{result.overall_relative_cost:.4f}",
+                f"{result.overall_coverage:.2%}",
+                f"{result.total_estimated_cost / 1e6:.2f}",
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["policy", "relative downtime", "coverage", "total (Ms)"],
+            rows,
+            title="Held-out comparison (40% training split)",
+        )
+    )
+
+    # Where did the savings come from?  (Section 5.1's "closer look".)
+    from repro.experiments.diagnostics import diff_policies
+
+    evaluation = evaluator.evaluate(learner.trained_policy())
+    report = diff_policies(learner, evaluation=evaluation)
+    changed = report.diverging()
+    print(f"\n{len(changed)} of {len(report.entries)} error types "
+          "changed their repair chain; first-action changes:")
+    for entry in report.first_action_changes():
+        print(f"  rank {entry.rank:2d} {entry.error_type:24s} "
+              f"{entry.incumbent_chain[0]} -> {entry.trained_chain[0]}  "
+              f"(rel. cost {entry.relative_cost:.3f})")
+    print(
+        "\nReading: the learned policies save >10% downtime; the "
+        "model-based route lands in\nthe same band given the same log; "
+        "skipping straight to manual repair is ruinous\n(two-day "
+        "turnarounds), and blind cheapest-first retries waste "
+        "observation time."
+    )
+
+
+if __name__ == "__main__":
+    main()

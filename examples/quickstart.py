@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: learn a recovery policy from a cluster's recovery log.
+
+This walks the paper's whole loop in a few lines:
+
+1. obtain a recovery log (here: a calibrated synthetic cluster trace
+   generated under the user-defined cheapest-first policy),
+2. split it by time into training history and held-out future,
+3. fit the offline Q-learning pipeline (mining, noise filtering, error
+   type induction, per-type training, selection-tree extraction),
+4. evaluate the trained and hybrid policies against the original one.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    RecoveryPolicyLearner,
+    UserDefinedPolicy,
+    default_catalog,
+    default_config,
+    generate_trace,
+    time_ordered_split,
+)
+
+
+def main() -> None:
+    print("Generating a synthetic half-year recovery log ...")
+    trace = generate_trace(default_config(seed=7))
+    processes = trace.log.to_processes()
+    print(f"  {len(trace.log):,} log entries, "
+          f"{len(processes):,} recovery processes")
+
+    train, test = time_ordered_split(processes, 0.4)
+    print(f"  training on the first {len(train):,} processes, "
+          f"testing on the remaining {len(test):,}")
+
+    print("\nFitting the recovery-policy learner (this takes ~15 s) ...")
+    learner = RecoveryPolicyLearner().fit(train)
+    assert learner.registry_ is not None
+    print(f"  {len(learner.registry_)} error types trained, "
+          f"{len(learner.rules_)} state-action rules extracted")
+
+    evaluator = learner.make_evaluator(test, filter_test_noise=False)
+    user = evaluator.evaluate(UserDefinedPolicy(default_catalog()))
+    trained = evaluator.evaluate(learner.trained_policy())
+    hybrid = evaluator.evaluate(learner.hybrid_policy())
+
+    print("\nHeld-out evaluation (downtime relative to the original policy):")
+    print(f"  user-defined : {user.overall_relative_cost:7.4f}   "
+          f"coverage {user.overall_coverage:6.2%}")
+    print(f"  trained (RL) : {trained.overall_relative_cost:7.4f}   "
+          f"coverage {trained.overall_coverage:6.2%}")
+    print(f"  hybrid       : {hybrid.overall_relative_cost:7.4f}   "
+          f"coverage {hybrid.overall_coverage:6.2%}")
+
+    saved = 1.0 - hybrid.overall_relative_cost
+    print(f"\nThe hybrid policy saves {saved:.1%} of machine downtime while "
+          "covering every error the")
+    print("user-defined policy covers — the paper's headline result "
+          "(they report >10%).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Generate, inspect and persist a synthetic cluster recovery log.
+
+Shows the substrate the reproduction stands on: a discrete-event
+cluster simulator whose ground-truth fault catalog is calibrated to the
+paper's data description (97 error types, the top 40 covering ~98.7%
+of processes, ~3-4% noisy multi-error cases), driven by the
+user-defined cheapest-first policy.
+
+Run:  python examples/trace_generation.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import default_config, generate_trace, read_log_text, write_log_text
+from repro.mining import coverage_curve, filter_noise
+from repro.tracegen import calibrate
+
+
+def main() -> None:
+    config = default_config(seed=7)
+    print("Simulating the cluster "
+          f"({config.cluster.machine_count} machines, "
+          f"{config.cluster.duration / 86_400:.0f} days) ...")
+    trace = generate_trace(config)
+    log = trace.log
+    processes = log.to_processes()
+
+    print(f"\n{log!r}")
+    print("\nAn example recovery process (the paper's Table 1):")
+    example = next(p for p in processes if len(p.actions) >= 3)
+    print(example.render())
+
+    print("\nCalibration against the paper's data description:")
+    print(calibrate(processes).render())
+
+    print("\nMining-based noise filter (Section 3.1):")
+    noise = filter_noise(processes)
+    print(f"  {noise.clustering.cluster_count()} symptom clusters at "
+          f"minp = 0.1")
+    print(f"  {noise.noise_fraction:.2%} of processes filtered as noisy "
+          "(paper: 3.33%)")
+
+    print("\nSymptom-set coverage vs dependence strength (Figure 3):")
+    for minp, coverage in coverage_curve(
+        processes, minps=(0.1, 0.3, 0.5, 0.7, 1.0)
+    ).items():
+        bar = "#" * int(coverage * 40)
+        print(f"  minp={minp:.1f}  {coverage:6.2%}  {bar}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "recovery.log"
+        count = write_log_text(log, path)
+        size_mb = path.stat().st_size / 1e6
+        print(f"\nWrote {count:,} entries to {path.name} "
+              f"({size_mb:.1f} MB), reading back ...")
+        loaded = read_log_text(path)
+        assert loaded == log
+        print("  round trip OK — parsers agree with the simulator")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Repair actions and their cost models.
+
+The paper's cluster schedules four repair actions, totally ordered by
+"strength" (how disruptive/thorough the repair is):
+
+    TRYNOP < REBOOT < REIMAGE < RMA
+
+``TRYNOP`` just observes; ``REBOOT`` restarts the machine; ``REIMAGE``
+rebuilds the operating system; ``RMA`` hands the machine to a human and
+always succeeds, which makes every policy proper (Section 3.2).
+"""
+
+from repro.actions.action import (
+    ActionCatalog,
+    RepairAction,
+    REBOOT,
+    REIMAGE,
+    RMA,
+    TRYNOP,
+    default_catalog,
+)
+from repro.actions.costs import CostModel, DeterministicCost, LognormalCost
+from repro.actions.composite import SumCost, compose_actions
+
+__all__ = [
+    "SumCost",
+    "compose_actions",
+    "RepairAction",
+    "ActionCatalog",
+    "default_catalog",
+    "TRYNOP",
+    "REBOOT",
+    "REIMAGE",
+    "RMA",
+    "CostModel",
+    "DeterministicCost",
+    "LognormalCost",
+]

@@ -1,0 +1,175 @@
+"""Repair actions and the action catalog.
+
+A :class:`RepairAction` is identified by name and carries a *strength*
+(position in the total order TRYNOP < REBOOT < REIMAGE < RMA) and a default
+cost model.  A :class:`ActionCatalog` is the ordered collection of actions
+available to policies, the simulation platform and the learner.
+
+The strength order encodes the paper's hypothesis 2 (Section 3.3): a
+stronger action includes the processes of the weaker ones and can replace
+them in a successful recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.actions.costs import CostModel, LognormalCost
+from repro.errors import ConfigurationError, UnknownActionError
+
+__all__ = [
+    "RepairAction",
+    "ActionCatalog",
+    "default_catalog",
+    "TRYNOP",
+    "REBOOT",
+    "REIMAGE",
+    "RMA",
+]
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """A repair action available to the recovery framework.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier, e.g. ``"REBOOT"``.
+    strength:
+        Position in the total strength order; higher is stronger.
+    cost_model:
+        Default duration distribution used when no per-fault override
+        exists.
+    manual:
+        Whether the action is performed by a human (the paper's RMA).
+        Manual actions always succeed, which makes policies proper.
+    """
+
+    name: str
+    strength: int
+    cost_model: CostModel = field(compare=False, hash=False, repr=False, default=None)  # type: ignore[assignment]
+    manual: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("action name must be non-empty")
+        if self.strength < 0:
+            raise ConfigurationError(
+                f"action strength must be >= 0, got {self.strength}"
+            )
+        if self.cost_model is None:
+            object.__setattr__(self, "cost_model", LognormalCost(600.0))
+
+    def is_stronger_than(self, other: "RepairAction") -> bool:
+        """True if this action is strictly stronger than ``other``."""
+        return self.strength > other.strength
+
+    def can_replace(self, other: "RepairAction") -> bool:
+        """True if this action can substitute for ``other`` (hypothesis 2).
+
+        An action can replace any action of equal or lesser strength.
+        """
+        return self.strength >= other.strength
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class ActionCatalog:
+    """An ordered, named collection of repair actions.
+
+    The catalog validates that strengths form a strict total order and that
+    the strongest action is manual (so every recovery process can terminate).
+    """
+
+    def __init__(self, actions: Sequence[RepairAction]) -> None:
+        if not actions:
+            raise ConfigurationError("catalog needs at least one action")
+        ordered = sorted(actions, key=lambda a: a.strength)
+        strengths = [a.strength for a in ordered]
+        if len(set(strengths)) != len(strengths):
+            raise ConfigurationError("action strengths must be distinct")
+        names = [a.name for a in ordered]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("action names must be distinct")
+        if not ordered[-1].manual:
+            raise ConfigurationError(
+                "the strongest action must be manual (always succeeds) so "
+                "that every recovery process can terminate"
+            )
+        self._ordered: Tuple[RepairAction, ...] = tuple(ordered)
+        self._by_name: Dict[str, RepairAction] = {a.name: a for a in ordered}
+
+    def __iter__(self) -> Iterator[RepairAction]:
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> RepairAction:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownActionError(
+                f"unknown repair action {name!r}; catalog has {self.names()}"
+            ) from None
+
+    def get(self, name: str) -> RepairAction:
+        """Alias of ``catalog[name]``."""
+        return self[name]
+
+    def names(self) -> List[str]:
+        """Action names in ascending strength order."""
+        return [a.name for a in self._ordered]
+
+    def by_strength(self) -> Tuple[RepairAction, ...]:
+        """All actions in ascending strength order."""
+        return self._ordered
+
+    @property
+    def cheapest(self) -> RepairAction:
+        """The weakest (cheapest) action."""
+        return self._ordered[0]
+
+    @property
+    def strongest(self) -> RepairAction:
+        """The strongest action (manual repair)."""
+        return self._ordered[-1]
+
+    def stronger_than(self, action: RepairAction) -> Tuple[RepairAction, ...]:
+        """All catalog actions strictly stronger than ``action``."""
+        return tuple(a for a in self._ordered if a.strength > action.strength)
+
+    def next_stronger(self, action: RepairAction) -> RepairAction:
+        """The next action up the strength order.
+
+        Raises :class:`UnknownActionError` if ``action`` is the strongest.
+        """
+        stronger = self.stronger_than(action)
+        if not stronger:
+            raise UnknownActionError(
+                f"{action.name} is already the strongest action"
+            )
+        return stronger[0]
+
+
+# Default catalog matching the paper's cluster (Section 4.1).  Mean costs
+# follow the qualitative ordering the paper describes: watching is minutes,
+# rebooting tens of minutes, reimaging hours, and a human repair days.
+TRYNOP = RepairAction("TRYNOP", 0, LognormalCost(300.0, cv=0.3))
+REBOOT = RepairAction("REBOOT", 1, LognormalCost(2_700.0, cv=0.3))
+REIMAGE = RepairAction("REIMAGE", 2, LognormalCost(7_200.0, cv=0.3))
+# RMA's low variability reflects a scheduled human repair turnaround; it
+# also keeps per-type downtime totals estimable at benchmark scale, where
+# a type may see only a handful of manual repairs.
+RMA = RepairAction("RMA", 3, LognormalCost(172_800.0, cv=0.08), manual=True)
+
+
+def default_catalog() -> ActionCatalog:
+    """Return the paper's four-action catalog (TRYNOP/REBOOT/REIMAGE/RMA)."""
+    return ActionCatalog([TRYNOP, REBOOT, REIMAGE, RMA])

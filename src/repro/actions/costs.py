@@ -1,0 +1,87 @@
+"""Cost (duration) models for repair actions.
+
+The duration of a repair action is the machine downtime it contributes: the
+time to execute the action plus the time spent observing whether it cured
+the error.  The paper notes that even "cheap" actions have non-negligible
+observation cost, which is why a cheapest-first policy can be suboptimal.
+
+Durations in a real cluster are heavy-tailed, so the default model is
+lognormal; a deterministic model is provided for tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = ["CostModel", "DeterministicCost", "LognormalCost"]
+
+
+class CostModel:
+    """Interface for sampling action durations, in seconds."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one duration."""
+        raise NotImplementedError
+
+    @property
+    def mean(self) -> float:
+        """The expected duration."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DeterministicCost(CostModel):
+    """A constant duration; useful for unit tests and analytic checks."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        check_positive("value", self.value)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class LognormalCost(CostModel):
+    """A lognormal duration with the given mean and coefficient of variation.
+
+    Parameters
+    ----------
+    mean_seconds:
+        Desired expected value of the distribution.
+    cv:
+        Coefficient of variation (std/mean).  ``cv=0.3`` gives mild
+        variability; ``cv>=1`` gives a pronounced heavy tail.
+    """
+
+    mean_seconds: float
+    cv: float = 0.3
+
+    def __post_init__(self) -> None:
+        check_positive("mean_seconds", self.mean_seconds)
+        check_positive("cv", self.cv)
+
+    @property
+    def _sigma(self) -> float:
+        return math.sqrt(math.log(1.0 + self.cv**2))
+
+    @property
+    def _mu(self) -> float:
+        return math.log(self.mean_seconds) - 0.5 * self._sigma**2
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(mean=self._mu, sigma=self._sigma))
+
+    @property
+    def mean(self) -> float:
+        return self.mean_seconds

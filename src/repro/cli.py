@@ -1,0 +1,296 @@
+"""Command-line interface: the full offline workflow without writing code.
+
+    python -m repro generate --out cluster.jsonl
+    python -m repro inspect  --log cluster.jsonl
+    python -m repro mine     --log cluster.jsonl
+    python -m repro train    --log cluster.jsonl --fraction 0.4 --out policy.json
+    python -m repro evaluate --log cluster.jsonl --policy policy.json --fraction 0.4
+    python -m repro experiment --figure fig9
+
+Every subcommand prints plain-text reports; ``experiment`` regenerates a
+paper figure's rows (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import RecoveryPolicyLearner
+from repro.errors import ReproError
+from repro.evaluation.split import time_ordered_split
+from repro.mining.clustering import coverage_curve
+from repro.mining.noise import filter_noise
+from repro.policies.serialization import load_policy, save_policy
+from repro.policies.user_defined import UserDefinedPolicy
+from repro.actions.action import default_catalog
+from repro.recoverylog.io import (
+    read_log_jsonl,
+    read_log_text,
+    write_log_jsonl,
+    write_log_text,
+)
+from repro.recoverylog.stats import compute_statistics
+from repro.tracegen.calibration import calibrate
+from repro.tracegen.generator import generate_trace
+from repro.tracegen.workload import (
+    default_config,
+    paper_scale_config,
+    small_config,
+)
+from repro.util.tables import render_series, render_table
+
+__all__ = ["main", "build_parser"]
+
+_SCALES = {
+    "small": small_config,
+    "default": default_config,
+    "paper": paper_scale_config,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Reinforcement Learning Approach to "
+            "Automatic Error Recovery' (DSN 2007)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic cluster recovery log"
+    )
+    generate.add_argument("--out", required=True, help="output path")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument(
+        "--scale", choices=sorted(_SCALES), default="default"
+    )
+    generate.add_argument(
+        "--format", choices=("jsonl", "text"), default="jsonl"
+    )
+
+    inspect = commands.add_parser(
+        "inspect", help="summarize a recovery log"
+    )
+    inspect.add_argument("--log", required=True)
+
+    mine = commands.add_parser(
+        "mine", help="mine symptom clusters and filter noise"
+    )
+    mine.add_argument("--log", required=True)
+    mine.add_argument("--minp", type=float, default=0.1)
+
+    train = commands.add_parser(
+        "train", help="learn a recovery policy from a log"
+    )
+    train.add_argument("--log", required=True)
+    train.add_argument("--out", required=True, help="policy JSON path")
+    train.add_argument(
+        "--fraction",
+        type=float,
+        default=1.0,
+        help="chronological fraction of the log to train on (1.0 = all)",
+    )
+    train.add_argument("--top-k", type=int, default=40)
+
+    evaluate = commands.add_parser(
+        "evaluate",
+        help="evaluate a saved policy on the log's held-out remainder",
+    )
+    evaluate.add_argument("--log", required=True)
+    evaluate.add_argument("--policy", required=True)
+    evaluate.add_argument("--fraction", type=float, default=0.4)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper figure's rows"
+    )
+    experiment.add_argument(
+        "--figure",
+        required=True,
+        choices=(
+            "table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "fig13", "fig14", "summary",
+        ),
+    )
+    experiment.add_argument("--seed", type=int, default=7)
+    experiment.add_argument(
+        "--scale", choices=sorted(_SCALES), default="default"
+    )
+    return parser
+
+
+def _read_log(path: str):
+    if path.endswith(".jsonl") or path.endswith(".json"):
+        return read_log_jsonl(path)
+    return read_log_text(path)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    trace = generate_trace(_SCALES[args.scale](seed=args.seed))
+    writer = write_log_jsonl if args.format == "jsonl" else write_log_text
+    count = writer(trace.log, args.out)
+    processes = trace.log.to_processes()
+    print(f"wrote {count:,} entries ({len(processes):,} recovery "
+          f"processes) to {args.out}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    log = _read_log(args.log)
+    processes = log.to_processes()
+    stats = compute_statistics(processes)
+    print(calibrate(processes).render())
+    print()
+    rows = [
+        (name, count)
+        for name, count in sorted(
+            stats.action_counts.items(), key=lambda kv: -kv[1]
+        )
+    ]
+    print(render_table(["action", "executions"], rows,
+                       title="Repair-action usage"))
+    print(f"\nmean downtime per process: {stats.mean_downtime:,.0f} s")
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    log = _read_log(args.log)
+    processes = log.to_processes()
+    result = filter_noise(processes, args.minp)
+    print(f"{result.clustering.cluster_count()} symptom clusters at "
+          f"minp = {args.minp:g}")
+    print(f"{result.noise_fraction:.2%} of {len(processes):,} processes "
+          "filtered as noisy (multi-cluster)")
+    print()
+    curve = coverage_curve(
+        processes, minps=(0.1, 0.2, 0.3, 0.5, 0.7, 1.0)
+    )
+    print(render_series({"coverage": curve}, x_label="minp",
+                        title="Single-cluster process coverage"))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    log = _read_log(args.log)
+    processes = log.to_processes()
+    if 0.0 < args.fraction < 1.0:
+        train_set, _test = time_ordered_split(processes, args.fraction)
+    else:
+        train_set = processes
+    learner = RecoveryPolicyLearner(
+        config=PipelineConfig(top_k_types=args.top_k)
+    ).fit(train_set)
+    policy = learner.trained_policy()
+    count = save_policy(policy, args.out)
+    assert learner.training_result_ is not None
+    unconverged = learner.training_result_.unconverged_types()
+    print(f"trained {len(learner.training_result_.per_type)} error types "
+          f"on {len(train_set):,} processes")
+    print(f"saved {count} state-action rules to {args.out}")
+    if unconverged:
+        print(f"note: {len(unconverged)} training courses hit the sweep cap")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    log = _read_log(args.log)
+    processes = log.to_processes()
+    _train, test = time_ordered_split(processes, args.fraction)
+    policy = load_policy(args.policy)
+    clean_test = filter_noise(test).clean
+    from repro.evaluation.evaluator import PolicyEvaluator
+    from repro.policies.hybrid import HybridPolicy
+
+    catalog = default_catalog()
+    evaluator = PolicyEvaluator(
+        clean_test, catalog, error_types=policy.error_types()
+    )
+    user = evaluator.evaluate(UserDefinedPolicy(catalog))
+    trained = evaluator.evaluate(policy)
+    hybrid = evaluator.evaluate(
+        HybridPolicy(policy, UserDefinedPolicy(catalog))
+    )
+    rows = [
+        ("user-defined", f"{user.overall_relative_cost:.4f}",
+         f"{user.overall_coverage:.2%}"),
+        (policy.name, f"{trained.overall_relative_cost:.4f}",
+         f"{trained.overall_coverage:.2%}"),
+        ("hybrid", f"{hybrid.overall_relative_cost:.4f}",
+         f"{hybrid.overall_coverage:.2%}"),
+    ]
+    print(render_table(
+        ["policy", "relative downtime", "coverage"], rows,
+        title=f"Held-out evaluation (train fraction {args.fraction:g})",
+    ))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+    from repro.experiments.scenario import build_scenario
+
+    scenario = build_scenario(_SCALES[args.scale](seed=args.seed))
+    if args.figure == "table1":
+        print(figures.table1_example_process(scenario).render())
+    elif args.figure == "fig3":
+        print(figures.fig3_symptom_sets(scenario).render())
+    elif args.figure == "fig5":
+        print(figures.fig5_error_type_counts(scenario).render())
+    elif args.figure == "fig6":
+        print(figures.fig6_downtime(scenario).render())
+    elif args.figure == "fig7":
+        print(figures.fig7_platform_validation(scenario).render())
+    elif args.figure == "fig8":
+        print(figures.fig8_trained_relative_cost(scenario).render())
+    elif args.figure == "fig9":
+        print(figures.fig9_trained_total_cost(scenario).render())
+    elif args.figure == "fig10":
+        print(figures.fig10_coverage(scenario).render())
+    elif args.figure == "fig11":
+        for result in figures.fig11_hybrid_per_type(scenario):
+            print(result.render())
+            print()
+    elif args.figure == "fig12":
+        print(figures.fig12_hybrid_total_cost(scenario).render())
+    elif args.figure == "fig13":
+        print(figures.fig13_training_time(scenario).render_fig13())
+    elif args.figure == "fig14":
+        print(figures.fig14_selection_tree_quality(scenario).render_fig14())
+    elif args.figure == "summary":
+        from repro.experiments.summary import reproduction_summary
+
+        print(reproduction_summary(scenario).render())
+    return 0
+
+
+_HANDLERS = {
+    "generate": _cmd_generate,
+    "inspect": _cmd_inspect,
+    "mine": _cmd_mine,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

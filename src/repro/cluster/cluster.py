@@ -1,0 +1,318 @@
+"""The cluster simulator: machines, faults and online recovery.
+
+:class:`ClusterSimulator` wires the discrete-event engine to the Figure 1
+framework: fault arrivals emit symptoms through the
+:class:`~repro.cluster.monitor.EventMonitor`; the
+:class:`~repro.cluster.detector.FaultDetector` notices new failures; a
+recovery manager consults the active :class:`~repro.policies.base.Policy`
+and applies repair actions until the machine reports healthy.  The run's
+output is the recovery log — the only artifact the offline learning
+pipeline is allowed to see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.actions.action import ActionCatalog, RepairAction, default_catalog
+from repro.cluster.detector import FaultDetector
+from repro.cluster.engine import SimulationEngine
+from repro.cluster.faults import (
+    FaultCatalog,
+    FaultType,
+    effective_cure_probabilities,
+)
+from repro.cluster.machine import Machine, MachineState
+from repro.cluster.monitor import EventMonitor
+from repro.errors import ConfigurationError
+from repro.mdp.state import RecoveryState
+from repro.policies.base import Policy
+from repro.recoverylog.log import RecoveryLog
+from repro.util.rng import RngStreams
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = ["ClusterConfig", "ClusterSimulator"]
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Parameters of a simulated cluster run.
+
+    Attributes
+    ----------
+    machine_count:
+        Number of servers.
+    duration:
+        Simulated horizon in seconds (fault arrivals stop after this; any
+        in-flight recovery is allowed to finish so processes complete).
+    mean_time_between_failures:
+        Per-machine mean seconds between recovery completion and the next
+        fault arrival (exponential).
+    detection_delay_mean:
+        Mean seconds from first symptom to failure detection.
+    decision_delay_mean:
+        Mean seconds from an observed action failure to issuing the next
+        action (operator/automation latency).
+    secondary_symptom_window:
+        Secondary symptoms appear within this many seconds of the primary.
+    symptom_reemission_probability:
+        Chance the fault's symptoms recur after a failed repair action.
+    noise_probability:
+        Chance a second, overlapping fault strikes at the same time,
+        producing the paper's "noisy" multi-error cases (Section 3.1
+        filters these; they are ~3.33% of the real log).
+    max_actions:
+        The paper's ``N``: a recovery process is capped at this many
+        actions, the last being forced to the manual repair.
+    machine_name_format:
+        ``str.format`` pattern for machine names.
+    """
+
+    machine_count: int = 200
+    duration: float = 180 * SECONDS_PER_DAY
+    mean_time_between_failures: float = 7.5 * SECONDS_PER_DAY
+    detection_delay_mean: float = 180.0
+    decision_delay_mean: float = 300.0
+    secondary_symptom_window: float = 900.0
+    symptom_reemission_probability: float = 0.7
+    noise_probability: float = 0.042
+    max_actions: int = 20
+    machine_name_format: str = "m-{:05d}"
+
+    def __post_init__(self) -> None:
+        check_positive("machine_count", self.machine_count)
+        check_positive("duration", self.duration)
+        check_positive(
+            "mean_time_between_failures", self.mean_time_between_failures
+        )
+        check_non_negative("detection_delay_mean", self.detection_delay_mean)
+        check_non_negative("decision_delay_mean", self.decision_delay_mean)
+        check_positive("secondary_symptom_window", self.secondary_symptom_window)
+        check_probability(
+            "symptom_reemission_probability", self.symptom_reemission_probability
+        )
+        check_probability("noise_probability", self.noise_probability)
+        if self.max_actions < 2:
+            raise ConfigurationError(
+                f"max_actions must be >= 2, got {self.max_actions}"
+            )
+
+
+class ClusterSimulator:
+    """Simulate a cluster under a recovery policy and produce its log.
+
+    Parameters
+    ----------
+    config:
+        Cluster parameters.
+    faults:
+        Ground-truth fault catalog (validated against ``actions`` for
+        cure-probability monotonicity).
+    policy:
+        The online recovery policy scheduling repair actions.
+    actions:
+        Action catalog; defaults to the paper's four actions.
+    streams:
+        Named RNG streams; pass the same seed for reproducible traces.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        faults: FaultCatalog,
+        policy: Policy,
+        actions: Optional[ActionCatalog] = None,
+        streams: Optional[RngStreams] = None,
+    ) -> None:
+        self.config = config
+        self.faults = faults
+        self.policy = policy
+        self.actions = actions if actions is not None else default_catalog()
+        # Validates monotonicity and resolves hypothesis-2 inheritance.
+        self._cures: Dict[str, Dict[str, float]] = {
+            fault.name: effective_cure_probabilities(fault, self.actions)
+            for fault in faults
+        }
+        self._streams = streams if streams is not None else RngStreams()
+        self._arrival_rng = self._streams.get("cluster.arrivals")
+        self._symptom_rng = self._streams.get("cluster.symptoms")
+        self._cure_rng = self._streams.get("cluster.cures")
+        self._cost_rng = self._streams.get("cluster.costs")
+        self._delay_rng = self._streams.get("cluster.delays")
+
+        self.engine = SimulationEngine()
+        self.monitor = EventMonitor()
+        self.detector = FaultDetector(self._on_detection)
+        self.monitor.subscribe(self.detector.observe)
+        self.machines: Dict[str, Machine] = {
+            config.machine_name_format.format(i): Machine(
+                config.machine_name_format.format(i)
+            )
+            for i in range(config.machine_count)
+        }
+        # Which of a machine's overlapping faults remain uncured.
+        self._uncured: Dict[str, List[FaultType]] = {}
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self) -> RecoveryLog:
+        """Execute the simulation and return the recovery log."""
+        for machine in self.machines.values():
+            self._schedule_next_fault(machine, from_time=0.0)
+        # No `until`: arrivals beyond the horizon are simply not scheduled,
+        # so the queue drains once in-flight recoveries finish.
+        self.engine.run()
+        return self.monitor.log
+
+    # ------------------------------------------------------------------
+    # Fault arrival and symptom emission
+    # ------------------------------------------------------------------
+    def _schedule_next_fault(self, machine: Machine, from_time: float) -> None:
+        gap = float(
+            self._arrival_rng.exponential(
+                self.config.mean_time_between_failures
+            )
+        )
+        arrival = from_time + gap
+        if arrival > self.config.duration:
+            return
+        self.engine.schedule_at(arrival, lambda m=machine: self._on_fault(m))
+
+    def _on_fault(self, machine: Machine) -> None:
+        fault = self.faults.sample(self._arrival_rng)
+        noise_fault: Optional[FaultType] = None
+        if (
+            len(self.faults) > 1
+            and self._arrival_rng.random() < self.config.noise_probability
+        ):
+            while noise_fault is None or noise_fault.name == fault.name:
+                noise_fault = self.faults.sample(self._arrival_rng)
+        machine.fail(fault, noise_fault)
+        self._uncured[machine.name] = [fault] + (
+            [noise_fault] if noise_fault is not None else []
+        )
+        now = self.engine.now
+        self.monitor.record_symptom(now, machine.name, fault.primary_symptom)
+        self._emit_secondary_symptoms(machine, fault, after=now)
+        if noise_fault is not None:
+            # The overlapping fault's symptoms appear strictly after the
+            # primary, so the induced error type stays the main fault's.
+            offset = float(
+                self._symptom_rng.uniform(
+                    30.0, self.config.secondary_symptom_window
+                )
+            )
+            self.engine.schedule_at(
+                now + offset,
+                lambda m=machine, f=noise_fault: self._emit_if_recovering(
+                    m, f.primary_symptom
+                ),
+            )
+            self._emit_secondary_symptoms(machine, noise_fault, after=now + offset)
+
+    def _emit_secondary_symptoms(
+        self, machine: Machine, fault: FaultType, after: float
+    ) -> None:
+        for symptom in fault.secondary_symptoms:
+            if self._symptom_rng.random() < fault.secondary_probability:
+                offset = float(
+                    self._symptom_rng.uniform(
+                        1.0, self.config.secondary_symptom_window
+                    )
+                )
+                self.engine.schedule_at(
+                    after + offset,
+                    lambda m=machine, s=symptom: self._emit_if_recovering(m, s),
+                )
+
+    def _emit_if_recovering(self, machine: Machine, symptom: str) -> None:
+        """Emit a symptom only while the error is still open."""
+        if machine.state is not MachineState.HEALTHY:
+            self.monitor.record_symptom(self.engine.now, machine.name, symptom)
+
+    # ------------------------------------------------------------------
+    # Detection and recovery
+    # ------------------------------------------------------------------
+    def _on_detection(self, machine_name: str, initial_symptom: str) -> None:
+        machine = self.machines[machine_name]
+        delay = self._sample_delay(self.config.detection_delay_mean)
+        self.engine.schedule_after(
+            delay,
+            lambda m=machine, s=initial_symptom: self._begin_recovery(m, s),
+        )
+
+    def _begin_recovery(self, machine: Machine, error_type: str) -> None:
+        machine.begin_recovery()
+        self._decide_and_act(machine, error_type)
+
+    def _decide_and_act(self, machine: Machine, error_type: str) -> None:
+        state = RecoveryState(
+            error_type=error_type,
+            healthy=False,
+            tried=tuple(machine.actions_tried),
+        )
+        if state.attempt_count >= self.config.max_actions - 1:
+            # The paper's N-cap: end the process with a manual repair.
+            action = self.actions.strongest
+        else:
+            action = self.actions[self.policy.decide(state).action]
+        now = self.engine.now
+        machine.record_attempt(action.name)
+        self.monitor.record_action(now, machine.name, action.name)
+        fault = machine.active_fault
+        scale = fault.cost_scale if fault is not None else 1.0
+        duration = action.cost_model.sample(self._cost_rng) * scale
+        self.engine.schedule_at(
+            now + duration,
+            lambda m=machine, a=action, e=error_type: self._on_action_complete(
+                m, a, e
+            ),
+        )
+
+    def _on_action_complete(
+        self, machine: Machine, action: RepairAction, error_type: str
+    ) -> None:
+        remaining = [
+            fault
+            for fault in self._uncured[machine.name]
+            if self._cure_rng.random()
+            >= self._cures[fault.name][action.name]
+        ]
+        self._uncured[machine.name] = remaining
+        now = self.engine.now
+        if not remaining:
+            self.monitor.record_success(now, machine.name)
+            machine.recover()
+            self._schedule_next_fault(machine, from_time=now)
+            return
+        # The error persists: symptoms may recur, then try again.
+        for fault in remaining:
+            if (
+                self._symptom_rng.random()
+                < self.config.symptom_reemission_probability
+            ):
+                offset = float(self._symptom_rng.uniform(1.0, 120.0))
+                self.engine.schedule_at(
+                    now + offset,
+                    lambda m=machine, s=fault.primary_symptom: self._emit_if_recovering(
+                        m, s
+                    ),
+                )
+        delay = self._sample_delay(self.config.decision_delay_mean)
+        self.engine.schedule_after(
+            delay,
+            lambda m=machine, e=error_type: self._decide_and_act(m, e),
+        )
+
+    def _sample_delay(self, mean: float) -> float:
+        if mean <= 0:
+            return 0.0
+        return float(self._delay_rng.exponential(mean))

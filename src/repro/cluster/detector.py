@@ -1,0 +1,63 @@
+"""The fault-detection component of the recovery framework (Figure 1).
+
+The detector watches the monitored entry stream; when a symptom appears on
+a machine with no recovery in progress, it raises a detection (after a
+configurable delay modeling monitoring latency).  Further symptoms on the
+same machine are attributed to the ongoing recovery and do not raise new
+detections — matching how the paper's log groups all symptoms between two
+successes into one recovery process.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.recoverylog.entry import LogEntry
+
+__all__ = ["FaultDetector"]
+
+DetectionHandler = Callable[[str, str], None]
+"""Callback ``(machine, initial_symptom)`` invoked on each new detection."""
+
+
+class FaultDetector:
+    """Turns raw symptom events into per-machine failure detections.
+
+    Parameters
+    ----------
+    on_detection:
+        Callback invoked (synchronously) when a new failure is detected.
+    """
+
+    def __init__(self, on_detection: Optional[DetectionHandler] = None) -> None:
+        self._on_detection = on_detection
+        self._in_recovery: Dict[str, str] = {}
+        self._detections = 0
+
+    @property
+    def detections(self) -> int:
+        """Total number of new failures detected."""
+        return self._detections
+
+    def set_handler(self, handler: DetectionHandler) -> None:
+        """Install the detection callback (must be set before observing)."""
+        self._on_detection = handler
+
+    def active_symptom(self, machine: str) -> Optional[str]:
+        """The initial symptom of ``machine``'s ongoing recovery, if any."""
+        return self._in_recovery.get(machine)
+
+    def observe(self, entry: LogEntry) -> None:
+        """Feed one monitored entry to the detector."""
+        if entry.is_symptom:
+            if entry.machine not in self._in_recovery:
+                if self._on_detection is None:
+                    raise ConfigurationError(
+                        "detector observed a symptom before a handler was set"
+                    )
+                self._in_recovery[entry.machine] = entry.description
+                self._detections += 1
+                self._on_detection(entry.machine, entry.description)
+        elif entry.is_success:
+            self._in_recovery.pop(entry.machine, None)

@@ -1,0 +1,107 @@
+"""A minimal, deterministic discrete-event simulation engine.
+
+Events are ``(time, sequence, callback)`` triples on a heap; equal-time
+events fire in scheduling order, which keeps runs reproducible.  The
+engine knows nothing about clusters — it only advances time and invokes
+callbacks, which may schedule further events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["SimulationEngine"]
+
+EventCallback = Callable[[], None]
+
+
+class SimulationEngine:
+    """An event queue with a virtual clock.
+
+    Example::
+
+        engine = SimulationEngine()
+        engine.schedule_at(10.0, lambda: print(engine.now))
+        engine.run()
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, EventCallback]] = []
+        self._sequence = 0
+        self._now = 0.0
+        self._processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events waiting to fire."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events fired so far."""
+        return self._processed
+
+    def schedule_at(self, time: float, callback: EventCallback) -> None:
+        """Schedule ``callback`` at absolute ``time``.
+
+        Scheduling in the past raises :class:`SimulationError` — such an
+        event would silently reorder causality.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} (clock is already at {self._now})"
+            )
+        heapq.heappush(self._heap, (time, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_after(self, delay: float, callback: EventCallback) -> None:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Fire events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire after this time (the event
+            stays queued).  ``None`` runs until the queue drains.
+        max_events:
+            Safety valve against runaway event loops.
+
+        Returns the number of events fired by this call.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (reentrant run())")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                time, _seq, callback = self._heap[0]
+                if until is not None and time > until:
+                    break
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; possible event loop"
+                    )
+                heapq.heappop(self._heap)
+                self._now = time
+                callback()
+                fired += 1
+                self._processed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return fired

@@ -1,0 +1,196 @@
+"""Ground-truth fault model for the cluster simulator.
+
+A :class:`FaultType` is what the paper's operators *don't* know: the real
+root cause behind a family of symptoms.  Each fault type has
+
+* a **primary symptom** (always emitted first; the learner will induce
+  it as the error type, per Section 3.1),
+* **secondary symptoms** that co-occur with it (forming the mutually
+  dependent symptom sets Figure 3 mines),
+* a **cure probability per repair action** (monotone non-decreasing in
+  action strength, matching hypothesis 2: stronger actions subsume
+  weaker ones), and
+* an occurrence **weight** controlling how often it strikes.
+
+The learner must never import this module's objects; it sees only the
+recovery log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.actions.action import ActionCatalog, RepairAction
+from repro.errors import ConfigurationError
+from repro.util.validation import check_positive, check_probability
+
+__all__ = [
+    "FaultType",
+    "FaultCatalog",
+    "effective_cure_probabilities",
+    "validate_fault_catalog",
+]
+
+
+@dataclass(frozen=True)
+class FaultType:
+    """One ground-truth root cause.
+
+    Attributes
+    ----------
+    name:
+        Internal identifier (never appears in the log).
+    primary_symptom:
+        Symptom emitted at fault onset; defines the induced error type.
+    secondary_symptoms:
+        Symptoms that may co-occur with the primary one.
+    secondary_probability:
+        Chance that each secondary symptom is emitted in a given process.
+    cure_probabilities:
+        ``{action name: probability the action cures this fault}``.
+        Manual actions cure with probability 1 regardless.
+    weight:
+        Relative occurrence frequency (Zipf-like weights give the paper's
+        Figure 5 shape).
+    cost_scale:
+        Multiplier applied to action durations for this fault (some
+        faults take longer to repair than others).
+    """
+
+    name: str
+    primary_symptom: str
+    secondary_symptoms: Tuple[str, ...] = ()
+    secondary_probability: float = 0.7
+    cure_probabilities: Mapping[str, float] = field(default_factory=dict)
+    weight: float = 1.0
+    cost_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("fault name must be non-empty")
+        if not self.primary_symptom:
+            raise ConfigurationError("primary_symptom must be non-empty")
+        if self.primary_symptom in self.secondary_symptoms:
+            raise ConfigurationError(
+                "primary symptom must not repeat among secondary symptoms"
+            )
+        check_probability("secondary_probability", self.secondary_probability)
+        for action_name, prob in self.cure_probabilities.items():
+            check_probability(f"cure_probabilities[{action_name}]", prob)
+        check_positive("weight", self.weight)
+        check_positive("cost_scale", self.cost_scale)
+
+    @property
+    def all_symptoms(self) -> Tuple[str, ...]:
+        """Primary symptom followed by the secondaries."""
+        return (self.primary_symptom,) + self.secondary_symptoms
+
+    def cure_probability(self, action: RepairAction) -> float:
+        """Probability that one execution of ``action`` cures this fault."""
+        if action.manual:
+            return 1.0
+        return float(self.cure_probabilities.get(action.name, 0.0))
+
+
+class FaultCatalog:
+    """The collection of ground-truth fault types, with weighted sampling."""
+
+    def __init__(self, fault_types: Sequence[FaultType]) -> None:
+        if not fault_types:
+            raise ConfigurationError("fault catalog needs at least one fault")
+        names = [f.name for f in fault_types]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("fault names must be distinct")
+        primaries = [f.primary_symptom for f in fault_types]
+        if len(set(primaries)) != len(primaries):
+            raise ConfigurationError(
+                "primary symptoms must be distinct across fault types; "
+                "the paper's error-type induction assumes the initial "
+                "symptom identifies the symptom set"
+            )
+        self._faults: Tuple[FaultType, ...] = tuple(fault_types)
+        self._by_name: Dict[str, FaultType] = {f.name: f for f in fault_types}
+        weights = np.array([f.weight for f in fault_types], dtype=float)
+        self._probabilities = weights / weights.sum()
+
+    def __iter__(self) -> Iterator[FaultType]:
+        return iter(self._faults)
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __getitem__(self, name: str) -> FaultType:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown fault type {name!r}") from None
+
+    @property
+    def fault_types(self) -> Tuple[FaultType, ...]:
+        return self._faults
+
+    def occurrence_probabilities(self) -> Dict[str, float]:
+        """``{fault name: normalized occurrence probability}``."""
+        return {
+            fault.name: float(p)
+            for fault, p in zip(self._faults, self._probabilities)
+        }
+
+    def sample(self, rng: np.random.Generator) -> FaultType:
+        """Draw one fault type according to the occurrence weights."""
+        index = int(rng.choice(len(self._faults), p=self._probabilities))
+        return self._faults[index]
+
+
+def effective_cure_probabilities(
+    fault: FaultType, actions: ActionCatalog
+) -> Dict[str, float]:
+    """Per-action cure probabilities with hypothesis-2 inheritance.
+
+    An action left unspecified in ``fault.cure_probabilities`` cures at
+    least as well as any weaker action (stronger actions subsume weaker
+    ones), so it inherits the running maximum.  Manual actions always
+    cure.  Raises :class:`ConfigurationError` when an *explicit*
+    probability decreases with strength — the one catalog shape the
+    hypotheses cannot accommodate.
+    """
+    for action_name in fault.cure_probabilities:
+        if action_name not in actions:
+            raise ConfigurationError(
+                f"fault {fault.name!r} references unknown action "
+                f"{action_name!r}"
+            )
+    effective: Dict[str, float] = {}
+    running = 0.0
+    for action in actions.by_strength():
+        if action.manual:
+            effective[action.name] = 1.0
+            continue
+        if action.name in fault.cure_probabilities:
+            explicit = float(fault.cure_probabilities[action.name])
+            if explicit + 1e-12 < running:
+                raise ConfigurationError(
+                    f"fault {fault.name!r}: cure probability of "
+                    f"{action.name} ({explicit}) is below that of a weaker "
+                    f"action ({running}); cure probabilities must be "
+                    "monotone in strength (hypothesis 2)"
+                )
+            running = max(running, explicit)
+        effective[action.name] = running
+    return effective
+
+
+def validate_fault_catalog(
+    faults: FaultCatalog, actions: ActionCatalog
+) -> None:
+    """Check catalog consistency against the paper's hypotheses.
+
+    Raises :class:`ConfigurationError` if any fault's explicit cure
+    probabilities decrease with action strength (violating hypothesis 2)
+    or reference unknown actions.
+    """
+    for fault in faults:
+        effective_cure_probabilities(fault, actions)

@@ -1,0 +1,90 @@
+"""Per-machine state tracked by the cluster simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cluster.faults import FaultType
+from repro.errors import SimulationError
+
+__all__ = ["MachineState", "Machine"]
+
+
+class MachineState(enum.Enum):
+    """Lifecycle of a simulated machine."""
+
+    HEALTHY = "healthy"
+    FAILED = "failed"        # fault present, not yet detected
+    RECOVERING = "recovering"  # repair actions in progress
+
+
+@dataclass
+class Machine:
+    """One simulated server.
+
+    Attributes
+    ----------
+    name:
+        Machine identifier as it appears in the log.
+    state:
+        Current lifecycle state.
+    active_fault:
+        Ground-truth fault currently affecting the machine, if any.
+    noise_fault:
+        A second, overlapping fault injected to create the paper's "noisy"
+        (multi-error) cases, if any.
+    actions_tried:
+        Repair actions executed in the current recovery process.
+    failure_count / recovery_count:
+        Lifetime counters for reporting.
+    """
+
+    name: str
+    state: MachineState = MachineState.HEALTHY
+    active_fault: Optional[FaultType] = None
+    noise_fault: Optional[FaultType] = None
+    actions_tried: List[str] = field(default_factory=list)
+    failure_count: int = 0
+    recovery_count: int = 0
+
+    def fail(self, fault: FaultType, noise_fault: Optional[FaultType] = None) -> None:
+        """Transition HEALTHY -> FAILED with the given ground-truth fault."""
+        if self.state is not MachineState.HEALTHY:
+            raise SimulationError(
+                f"{self.name}: cannot fail while {self.state.value}"
+            )
+        self.state = MachineState.FAILED
+        self.active_fault = fault
+        self.noise_fault = noise_fault
+        self.actions_tried = []
+        self.failure_count += 1
+
+    def begin_recovery(self) -> None:
+        """Transition FAILED -> RECOVERING once the detector notices."""
+        if self.state is not MachineState.FAILED:
+            raise SimulationError(
+                f"{self.name}: cannot begin recovery while {self.state.value}"
+            )
+        self.state = MachineState.RECOVERING
+
+    def record_attempt(self, action_name: str) -> None:
+        """Record a repair-action execution in the current process."""
+        if self.state is not MachineState.RECOVERING:
+            raise SimulationError(
+                f"{self.name}: cannot repair while {self.state.value}"
+            )
+        self.actions_tried.append(action_name)
+
+    def recover(self) -> None:
+        """Transition RECOVERING -> HEALTHY after a curing action."""
+        if self.state is not MachineState.RECOVERING:
+            raise SimulationError(
+                f"{self.name}: cannot recover while {self.state.value}"
+            )
+        self.state = MachineState.HEALTHY
+        self.active_fault = None
+        self.noise_fault = None
+        self.actions_tried = []
+        self.recovery_count += 1

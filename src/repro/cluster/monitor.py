@@ -1,0 +1,61 @@
+"""The event-monitoring component of the recovery framework (Figure 1).
+
+The monitor is the single writer of the recovery log: symptoms, repair
+actions and success reports all flow through it.  Keeping it separate from
+the simulator mirrors the paper's architecture, where the same component
+feeds both online fault detection and the offline policy-generation
+pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.recoverylog.entry import LogEntry
+from repro.recoverylog.log import RecoveryLog
+
+__all__ = ["EventMonitor"]
+
+EntryListener = Callable[[LogEntry], None]
+
+
+class EventMonitor:
+    """Collects log entries and notifies listeners (e.g. the fault detector).
+
+    Example::
+
+        monitor = EventMonitor()
+        monitor.subscribe(detector.observe)
+        monitor.record_symptom(12.0, "m-001", "error:Disk")
+    """
+
+    def __init__(self, log: Optional[RecoveryLog] = None) -> None:
+        self._log = log if log is not None else RecoveryLog()
+        self._listeners: List[EntryListener] = []
+
+    @property
+    def log(self) -> RecoveryLog:
+        """The recovery log written so far."""
+        return self._log
+
+    def subscribe(self, listener: EntryListener) -> None:
+        """Register a callback invoked for every recorded entry."""
+        self._listeners.append(listener)
+
+    def record(self, entry: LogEntry) -> None:
+        """Append ``entry`` to the log and notify listeners."""
+        self._log.append(entry)
+        for listener in self._listeners:
+            listener(entry)
+
+    def record_symptom(self, time: float, machine: str, symptom: str) -> None:
+        """Record an error-symptom entry."""
+        self.record(LogEntry.symptom(time, machine, symptom))
+
+    def record_action(self, time: float, machine: str, action_name: str) -> None:
+        """Record a repair-action entry."""
+        self.record(LogEntry.action(time, machine, action_name))
+
+    def record_success(self, time: float, machine: str) -> None:
+        """Record a successful-recovery report."""
+        self.record(LogEntry.success(time, machine))

@@ -1,0 +1,13 @@
+"""The high-level policy-generation pipeline — the paper's contribution.
+
+:class:`RecoveryPolicyLearner` chains the full offline flow of Figure 1's
+lower half: recovery log -> symptom mining and noise filtering -> error
+type induction -> per-type Q-learning on the simulation platform ->
+trained and hybrid recovery policies.
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import RecoveryPolicyLearner
+from repro.core.online import RollingRetrainer
+
+__all__ = ["PipelineConfig", "RecoveryPolicyLearner", "RollingRetrainer"]

@@ -1,0 +1,60 @@
+"""Configuration of the end-to-end policy-generation pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.learning.qlearning import QLearningConfig
+from repro.learning.selection_tree import SelectionTreeConfig
+from repro.util.validation import check_positive
+
+__all__ = ["PipelineConfig"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs of :class:`~repro.core.pipeline.RecoveryPolicyLearner`.
+
+    Attributes
+    ----------
+    minp:
+        Mutual-dependence strength for noise filtering (the paper picks
+        0.1).
+    top_k_types:
+        Train only the most frequent types (the paper's 40), which
+        guarantees enough training data per type.
+    min_processes_per_type:
+        Skip types with fewer training processes than this (they need
+        more time to accumulate samples, as the paper notes for the
+        remaining 57 types).
+    max_actions:
+        The paper's ``N`` = 20 action cap per recovery process.
+    use_selection_tree:
+        Extract policies with the Section 5.3 selection tree (default)
+        or plain greedy extraction after standard convergence.
+    qlearning:
+        The Q-learning hyper-parameters.
+    tree:
+        The selection-tree hyper-parameters.
+    """
+
+    minp: float = 0.1
+    top_k_types: int = 40
+    min_processes_per_type: int = 3
+    max_actions: int = 20
+    use_selection_tree: bool = True
+    qlearning: QLearningConfig = field(default_factory=QLearningConfig)
+    tree: SelectionTreeConfig = field(default_factory=SelectionTreeConfig)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.minp <= 1.0:
+            raise ConfigurationError(
+                f"minp must be in (0, 1], got {self.minp}"
+            )
+        check_positive("top_k_types", self.top_k_types)
+        check_positive("min_processes_per_type", self.min_processes_per_type)
+        if self.max_actions < 2:
+            raise ConfigurationError(
+                f"max_actions must be >= 2, got {self.max_actions}"
+            )

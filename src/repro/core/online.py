@@ -1,0 +1,136 @@
+"""Online rolling retraining.
+
+The paper's learning-based approach "can adapt to the change of the
+environment without human involvement" (Section 1): the offline
+components periodically retrain on fresh recovery history and push the
+regenerated policy to the online recovery component.
+:class:`RollingRetrainer` packages that loop: feed it completed recovery
+processes as the monitor produces them; every ``retrain_every``
+processes it refits on a sliding window and swaps the deployed hybrid
+policy atomically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.actions.action import ActionCatalog, default_catalog
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import RecoveryPolicyLearner
+from repro.errors import ConfigurationError, TrainingError
+from repro.policies.base import Policy
+from repro.policies.hybrid import HybridPolicy
+from repro.policies.user_defined import UserDefinedPolicy
+from repro.recoverylog.process import RecoveryProcess
+
+__all__ = ["RollingRetrainer"]
+
+
+class RollingRetrainer:
+    """Continuously retrain a recovery policy on a sliding history window.
+
+    Parameters
+    ----------
+    catalog:
+        Repair-action catalog.
+    config:
+        Pipeline configuration used for every refit.
+    window:
+        Maximum number of recent processes kept for training (old
+        history ages out, which is what makes adaptation possible).
+    retrain_every:
+        Refit after this many newly observed processes.
+    min_history:
+        No training before this many processes have been seen; until
+        then :meth:`current_policy` returns the fallback.
+    fallback:
+        The always-available policy (deployed before the first fit and
+        backing every hybrid afterwards).
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[ActionCatalog] = None,
+        config: Optional[PipelineConfig] = None,
+        *,
+        window: int = 5_000,
+        retrain_every: int = 500,
+        min_history: int = 200,
+        fallback: Optional[Policy] = None,
+    ) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if retrain_every < 1:
+            raise ConfigurationError(
+                f"retrain_every must be >= 1, got {retrain_every}"
+            )
+        if min_history < 1:
+            raise ConfigurationError(
+                f"min_history must be >= 1, got {min_history}"
+            )
+        self.catalog = catalog if catalog is not None else default_catalog()
+        self.config = config
+        self.fallback = (
+            fallback
+            if fallback is not None
+            else UserDefinedPolicy(self.catalog)
+        )
+        self._window: Deque[RecoveryProcess] = deque(maxlen=window)
+        self._retrain_every = retrain_every
+        self._min_history = min_history
+        self._since_retrain = 0
+        self._retrain_count = 0
+        self._learner: Optional[RecoveryPolicyLearner] = None
+        self._policy: Policy = self.fallback
+
+    # ------------------------------------------------------------------
+    @property
+    def history_size(self) -> int:
+        """Processes currently in the training window."""
+        return len(self._window)
+
+    @property
+    def retrain_count(self) -> int:
+        """How many refits have completed."""
+        return self._retrain_count
+
+    @property
+    def learner(self) -> Optional[RecoveryPolicyLearner]:
+        """The most recent fitted learner, if any."""
+        return self._learner
+
+    def current_policy(self) -> Policy:
+        """The currently deployed policy (hybrid once trained)."""
+        return self._policy
+
+    def observe(self, process: RecoveryProcess) -> bool:
+        """Feed one completed recovery process.
+
+        Returns True when the observation triggered a retrain.
+        """
+        self._window.append(process)
+        self._since_retrain += 1
+        if (
+            len(self._window) >= self._min_history
+            and self._since_retrain >= self._retrain_every
+        ):
+            self.retrain()
+            return True
+        return False
+
+    def retrain(self) -> HybridPolicy:
+        """Refit on the current window and swap the deployed policy."""
+        if not self._window:
+            raise TrainingError("no history to retrain on")
+        learner = RecoveryPolicyLearner(
+            self.catalog, self.config, baseline=self.fallback
+        )
+        learner.fit(tuple(self._window))
+        policy = learner.hybrid_policy(self.fallback)
+        # Swap atomically only after a successful fit.
+        self._learner = learner
+        self._policy = policy
+        self._since_retrain = 0
+        self._retrain_count += 1
+        return policy

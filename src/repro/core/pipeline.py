@@ -1,0 +1,206 @@
+"""The end-to-end recovery-policy learner.
+
+Typical use::
+
+    from repro.core import RecoveryPolicyLearner
+    from repro.evaluation import time_ordered_split
+
+    train, test = time_ordered_split(log.to_processes(), 0.4)
+    learner = RecoveryPolicyLearner().fit(train)
+    trained = learner.trained_policy()
+    hybrid = learner.hybrid_policy()
+    result = learner.make_evaluator(test).evaluate(trained)
+    print(result.overall_relative_cost)   # ~0.89 on the paper's data
+
+The learner consumes only the recovery log (processes), never ground
+truth about faults — the same information barrier the paper's offline
+components face.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.actions.action import ActionCatalog, default_catalog
+from repro.core.config import PipelineConfig
+from repro.errors import NotTrainedError, TrainingError
+from repro.errortypes.registry import ErrorTypeRegistry
+from repro.evaluation.evaluator import PolicyEvaluator
+from repro.learning.extraction import extract_greedy_rules, merge_rules
+from repro.learning.qlearning import (
+    QLearningTrainer,
+    TrainingResult,
+    TypeTrainingResult,
+)
+from repro.learning.selection_tree import SelectionTreeExtractor
+from repro.mining.noise import NoiseFilterResult, filter_noise
+from repro.policies.base import Policy
+from repro.policies.hybrid import HybridPolicy
+from repro.policies.trained import TrainedPolicy
+from repro.policies.user_defined import UserDefinedPolicy
+from repro.recoverylog.log import RecoveryLog
+from repro.recoverylog.process import RecoveryProcess
+from repro.simplatform.platform import SimulationPlatform
+
+__all__ = ["RecoveryPolicyLearner"]
+
+ProcessSource = Union[RecoveryLog, Sequence[RecoveryProcess]]
+
+
+class RecoveryPolicyLearner:
+    """Learn recovery policies from a recovery log (Figure 1, lower half).
+
+    Parameters
+    ----------
+    catalog:
+        Repair-action catalog; defaults to the paper's four actions.
+    config:
+        Pipeline configuration.
+
+    Attributes (set by :meth:`fit`)
+    -------------------------------
+    noise_result_:
+        The mining-based noise filter outcome.
+    registry_:
+        Error types actually trained (top-k by frequency).
+    training_result_:
+        Per-type Q-learning outcomes.
+    rules_:
+        The merged state-action rule table.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[ActionCatalog] = None,
+        config: Optional[PipelineConfig] = None,
+        baseline: Optional[Policy] = None,
+    ) -> None:
+        self.catalog = catalog if catalog is not None else default_catalog()
+        self.config = config if config is not None else PipelineConfig()
+        # The incumbent policy: the selection tree's conservative margin
+        # compares candidates against it, and the hybrid policy falls
+        # back to it.  Defaults to the cheapest-first ladder.
+        self.baseline = (
+            baseline
+            if baseline is not None
+            else UserDefinedPolicy(self.catalog)
+        )
+        self.noise_result_: Optional[NoiseFilterResult] = None
+        self.registry_: Optional[ErrorTypeRegistry] = None
+        self.training_result_: Optional[TrainingResult] = None
+        self.rules_ = None
+        self._platform: Optional[SimulationPlatform] = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_processes(source: ProcessSource) -> Tuple[RecoveryProcess, ...]:
+        if isinstance(source, RecoveryLog):
+            return source.to_processes()
+        return tuple(source)
+
+    def fit(self, source: ProcessSource) -> "RecoveryPolicyLearner":
+        """Run mining, type induction and per-type Q-learning.
+
+        ``source`` is a recovery log or its segmented processes — the
+        *training* portion of a time-ordered split.
+        """
+        processes = self._as_processes(source)
+        if not processes:
+            raise TrainingError("cannot fit on an empty recovery log")
+
+        self.noise_result_ = filter_noise(processes, self.config.minp)
+        clean = self.noise_result_.clean
+        if not clean:
+            raise TrainingError("noise filtering removed every process")
+
+        full_registry = ErrorTypeRegistry.from_processes(clean)
+        self.registry_ = full_registry.top(self.config.top_k_types)
+        groups = self.registry_.partition(clean)
+
+        self._platform = SimulationPlatform(
+            clean,
+            self.catalog,
+            max_actions=self.config.max_actions,
+        )
+        trainer = QLearningTrainer(self._platform, self.config.qlearning)
+
+        per_type: Dict[str, TypeTrainingResult] = {}
+        rule_tables = []
+        if self.config.use_selection_tree:
+            extractor = SelectionTreeExtractor(self._platform, self.config.tree)
+            for info in self.registry_:
+                type_processes = groups[info.name]
+                if len(type_processes) < self.config.min_processes_per_type:
+                    continue
+                outcome = extractor.train_type(
+                    trainer, info.name, type_processes, baseline=self.baseline
+                )
+                per_type[info.name] = outcome.training
+                rule_tables.append(outcome.rules)
+        else:
+            for info in self.registry_:
+                type_processes = groups[info.name]
+                if len(type_processes) < self.config.min_processes_per_type:
+                    continue
+                result = trainer.train_type(info.name, type_processes)
+                per_type[info.name] = result
+                rule_tables.append(extract_greedy_rules(result.qtable))
+
+        if not per_type:
+            raise TrainingError(
+                "no error type had enough training processes "
+                f"(min_processes_per_type={self.config.min_processes_per_type})"
+            )
+        self.training_result_ = TrainingResult(per_type=per_type)
+        self.rules_ = merge_rules(*rule_tables)
+        return self
+
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if self.rules_ is None:
+            raise NotTrainedError(
+                "call fit() before requesting policies or evaluators"
+            )
+
+    def trained_policy(self, label: str = "trained") -> TrainedPolicy:
+        """The pure RL-trained policy (raises on unhandled states)."""
+        self._require_fitted()
+        return TrainedPolicy(self.rules_, label=label)
+
+    def hybrid_policy(
+        self, fallback: Optional[Policy] = None
+    ) -> HybridPolicy:
+        """The Section 3.4 hybrid: trained policy with automatic fallback.
+
+        ``fallback`` defaults to the learner's baseline policy (the
+        user-defined cheapest-first ladder unless overridden).
+        """
+        self._require_fitted()
+        if fallback is None:
+            fallback = self.baseline
+        return HybridPolicy(self.trained_policy(), fallback)
+
+    def make_evaluator(
+        self,
+        test_source: ProcessSource,
+        *,
+        filter_test_noise: bool = True,
+    ) -> PolicyEvaluator:
+        """An evaluator over held-out processes, restricted to the
+        trained error types.
+
+        ``filter_test_noise`` applies the same mining-based noise filter
+        to the test processes (the paper ignores noisy cases for a
+        precise evaluation).
+        """
+        self._require_fitted()
+        processes = self._as_processes(test_source)
+        if filter_test_noise:
+            processes = filter_noise(processes, self.config.minp).clean
+        assert self.registry_ is not None
+        return PolicyEvaluator(
+            processes,
+            self.catalog,
+            error_types=self.registry_.names,
+            max_actions=self.config.max_actions,
+        )

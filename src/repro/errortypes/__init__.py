@@ -1,0 +1,13 @@
+"""Error-type inference and registry.
+
+The paper approximates unknown faults by **error types**: the initial
+symptom of a recovery process (Section 3.1), which is representative of
+the cohesive symptom set it belongs to.  The registry ranks types by
+frequency so experiments can select the 40 most frequent (98.68% of the
+paper's processes) and index figures by frequency rank.
+"""
+
+from repro.errortypes.inference import infer_error_type
+from repro.errortypes.registry import ErrorTypeInfo, ErrorTypeRegistry
+
+__all__ = ["infer_error_type", "ErrorTypeInfo", "ErrorTypeRegistry"]

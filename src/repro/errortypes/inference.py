@@ -1,0 +1,18 @@
+"""Error-type inference.
+
+Section 3.1: "we define error type as the initial symptom of a recovery
+process to approximate the real fault ... it is usually representative
+enough of the symptom set to which it belongs and the other symptoms in
+the recovery process often co-occur with it."
+"""
+
+from __future__ import annotations
+
+from repro.recoverylog.process import RecoveryProcess
+
+__all__ = ["infer_error_type"]
+
+
+def infer_error_type(process: RecoveryProcess) -> str:
+    """The induced error type of a recovery process: its initial symptom."""
+    return process.error_type

@@ -1,0 +1,136 @@
+"""Registry of induced error types with frequency ranking."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import UnknownErrorTypeError
+from repro.errortypes.inference import infer_error_type
+from repro.recoverylog.process import RecoveryProcess
+
+__all__ = ["ErrorTypeInfo", "ErrorTypeRegistry"]
+
+
+@dataclass(frozen=True)
+class ErrorTypeInfo:
+    """Summary of one induced error type.
+
+    Attributes
+    ----------
+    name:
+        The error type (initial symptom).
+    rank:
+        1-based frequency rank (1 = most frequent), the x-axis of the
+        paper's per-type figures.
+    count:
+        Number of recovery processes of this type.
+    total_downtime:
+        Summed downtime of those processes.
+    """
+
+    name: str
+    rank: int
+    count: int
+    total_downtime: float
+
+    @property
+    def mean_downtime(self) -> float:
+        """Mean downtime per process of this type."""
+        return self.total_downtime / self.count if self.count else 0.0
+
+
+class ErrorTypeRegistry:
+    """Error types induced from an ensemble of recovery processes.
+
+    Iteration and indexing follow frequency rank (most frequent first).
+    """
+
+    def __init__(self, infos: Sequence[ErrorTypeInfo]) -> None:
+        self._infos: Tuple[ErrorTypeInfo, ...] = tuple(infos)
+        self._by_name: Dict[str, ErrorTypeInfo] = {
+            info.name: info for info in infos
+        }
+
+    @classmethod
+    def from_processes(
+        cls, processes: Sequence[RecoveryProcess]
+    ) -> "ErrorTypeRegistry":
+        """Induce and rank error types from ``processes``."""
+        counts: Counter = Counter()
+        downtime: Dict[str, float] = {}
+        for process in processes:
+            error_type = infer_error_type(process)
+            counts[error_type] += 1
+            downtime[error_type] = (
+                downtime.get(error_type, 0.0) + process.downtime
+            )
+        ranked = sorted(counts, key=lambda t: (-counts[t], t))
+        infos = [
+            ErrorTypeInfo(
+                name=name,
+                rank=rank,
+                count=counts[name],
+                total_downtime=downtime[name],
+            )
+            for rank, name in enumerate(ranked, start=1)
+        ]
+        return cls(infos)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._infos)
+
+    def __iter__(self):
+        return iter(self._infos)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> ErrorTypeInfo:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownErrorTypeError(f"unknown error type {name!r}") from None
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Type names in frequency-rank order."""
+        return tuple(info.name for info in self._infos)
+
+    def rank_of(self, name: str) -> int:
+        """1-based frequency rank of ``name``."""
+        return self[name].rank
+
+    def total_process_count(self) -> int:
+        """Processes across all registered types."""
+        return sum(info.count for info in self._infos)
+
+    def top(self, k: int) -> "ErrorTypeRegistry":
+        """A registry restricted to the ``k`` most frequent types.
+
+        The paper keeps the 40 most frequent of its 97 types to
+        guarantee enough training data per type.
+        """
+        return ErrorTypeRegistry(self._infos[:k])
+
+    def coverage_of_top(self, k: int) -> float:
+        """Fraction of processes whose type ranks in the top ``k``."""
+        total = self.total_process_count()
+        if total == 0:
+            return 1.0
+        return sum(info.count for info in self._infos[:k]) / total
+
+    def partition(
+        self, processes: Sequence[RecoveryProcess]
+    ) -> Dict[str, List[RecoveryProcess]]:
+        """Group ``processes`` by registered type, dropping others."""
+        groups: Dict[str, List[RecoveryProcess]] = {
+            name: [] for name in self.names
+        }
+        for process in processes:
+            error_type = infer_error_type(process)
+            if error_type in groups:
+                groups[error_type].append(process)
+        return groups

@@ -1,0 +1,27 @@
+"""Policy evaluation on held-out recovery processes (Section 5).
+
+The paper splits the log by time order into train/test at 20/40/60/80%,
+replays the test processes under each policy on the simulation platform,
+and reports per-error-type relative time cost (estimated/real), total
+time cost, and coverage (the fraction of processes the policy can
+handle).
+"""
+
+from repro.evaluation.split import time_ordered_split
+from repro.evaluation.metrics import EvaluationResult, TypeEvaluation
+from repro.evaluation.evaluator import PolicyEvaluator
+from repro.evaluation.report import (
+    render_coverage,
+    render_relative_costs,
+    render_totals,
+)
+
+__all__ = [
+    "time_ordered_split",
+    "TypeEvaluation",
+    "EvaluationResult",
+    "PolicyEvaluator",
+    "render_relative_costs",
+    "render_totals",
+    "render_coverage",
+]

@@ -1,0 +1,92 @@
+"""Plain-text rendering of evaluation results in the paper's figure shapes."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.evaluation.metrics import EvaluationResult
+from repro.util.tables import render_series, render_table
+
+__all__ = ["render_relative_costs", "render_totals", "render_coverage"]
+
+
+def _ordered_types(
+    results: Sequence[EvaluationResult], ranks: Mapping[str, int]
+) -> list:
+    types = set()
+    for result in results:
+        types.update(result.per_type.keys())
+    return sorted(types, key=lambda t: ranks.get(t, 10**9))
+
+
+def render_relative_costs(
+    results: Sequence[EvaluationResult],
+    ranks: Mapping[str, int],
+    title: str = "Relative time cost per error type",
+) -> str:
+    """Figure 8/11-style table: one column per result, rows by rank."""
+    series = {}
+    for result in results:
+        label = result.policy_name
+        if result.train_fraction is not None:
+            label = f"{label}@{result.train_fraction:g}"
+        series[label] = {
+            ranks.get(t, 0): round(e.relative_cost, 4)
+            for t, e in result.per_type.items()
+        }
+    return render_series(series, x_label="rank", title=title)
+
+
+def render_totals(
+    pairs: Sequence[Sequence[EvaluationResult]],
+    title: str = "Total time cost per test",
+) -> str:
+    """Figure 9/12-style table: totals per test for baseline vs candidate.
+
+    ``pairs`` is a sequence of ``(baseline_result, candidate_result)``
+    per test (train fraction).
+    """
+    rows = []
+    for index, (baseline, candidate) in enumerate(pairs, start=1):
+        rows.append(
+            (
+                index,
+                baseline.train_fraction
+                if baseline.train_fraction is not None
+                else "-",
+                f"{baseline.total_real_cost_handled / 1e6:.3f}",
+                f"{candidate.total_estimated_cost / 1e6:.3f}",
+                f"{candidate.overall_relative_cost:.4f}",
+            )
+        )
+    return render_table(
+        [
+            "test",
+            "train fraction",
+            "user-defined (Ms)",
+            "candidate (Ms)",
+            "relative",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def render_coverage(
+    results: Sequence[EvaluationResult],
+    ranks: Mapping[str, int],
+    title: str = "Coverage of the trained policy",
+) -> str:
+    """Figure 10-style table: coverage per type for each train fraction."""
+    series = {}
+    for result in results:
+        label = (
+            f"{result.train_fraction:g}"
+            if result.train_fraction is not None
+            else result.policy_name
+        )
+        series[label] = {
+            ranks.get(t, 0): round(e.coverage, 4)
+            for t, e in result.per_type.items()
+        }
+    return render_series(series, x_label="rank", title=title)

@@ -1,0 +1,14 @@
+"""Train/test splitting.
+
+Re-exported from :mod:`repro.recoverylog.process`: the split is by *time
+order* (the paper's Section 5), because a deployed learner only ever
+trains on the past.  The four standard splits use training fractions
+0.2, 0.4, 0.6 and 0.8 (tests 1-4).
+"""
+
+from repro.recoverylog.process import time_ordered_split
+
+__all__ = ["time_ordered_split", "STANDARD_TRAIN_FRACTIONS"]
+
+#: The paper's four tests (Section 5).
+STANDARD_TRAIN_FRACTIONS = (0.2, 0.4, 0.6, 0.8)

@@ -1,0 +1,68 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Every driver takes a :class:`~repro.experiments.scenario.Scenario` (the
+calibrated synthetic trace plus derived artifacts) and returns a result
+object with the figure's raw series and a ``render()`` method printing
+the same rows the paper plots.  Heavy intermediate artifacts (the trace,
+the four trained bundles, the standard-vs-tree training comparison) are
+cached per scenario so the benchmark suite shares them.
+"""
+
+from repro.experiments.scenario import Scenario, build_scenario, default_scenario
+from repro.experiments.bundle import FractionBundle, train_fraction
+from repro.experiments.figures import (
+    fig3_symptom_sets,
+    fig5_error_type_counts,
+    fig6_downtime,
+    fig7_platform_validation,
+    fig8_trained_relative_cost,
+    fig9_trained_total_cost,
+    fig10_coverage,
+    fig11_hybrid_per_type,
+    fig12_hybrid_total_cost,
+    fig13_training_time,
+    fig14_selection_tree_quality,
+    table1_example_process,
+)
+from repro.experiments.ablations import (
+    ablation_approximation,
+    ablation_baselines,
+    ablation_exploration,
+    ablation_hypotheses,
+)
+from repro.experiments.diagnostics import PolicyDiffReport, diff_policies
+from repro.experiments.sensitivity import (
+    ThresholdSweepResult,
+    sweep_tree_threshold,
+)
+from repro.experiments.summary import ReproductionSummary, reproduction_summary
+
+__all__ = [
+    "Scenario",
+    "build_scenario",
+    "default_scenario",
+    "FractionBundle",
+    "train_fraction",
+    "table1_example_process",
+    "fig3_symptom_sets",
+    "fig5_error_type_counts",
+    "fig6_downtime",
+    "fig7_platform_validation",
+    "fig8_trained_relative_cost",
+    "fig9_trained_total_cost",
+    "fig10_coverage",
+    "fig11_hybrid_per_type",
+    "fig12_hybrid_total_cost",
+    "fig13_training_time",
+    "fig14_selection_tree_quality",
+    "ablation_baselines",
+    "ablation_exploration",
+    "ablation_hypotheses",
+    "ablation_approximation",
+    "PolicyDiffReport",
+    "diff_policies",
+    "ThresholdSweepResult",
+    "sweep_tree_threshold",
+    "ReproductionSummary",
+    "reproduction_summary",
+]

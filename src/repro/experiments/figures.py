@@ -1,0 +1,448 @@
+"""Drivers for every table and figure in the paper's evaluation.
+
+Each function returns a small result dataclass carrying the figure's raw
+series plus a ``render()`` producing the rows the paper plots.  See
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import EvaluationError
+from repro.evaluation.metrics import EvaluationResult
+from repro.evaluation.report import (
+    render_coverage,
+    render_relative_costs,
+    render_totals,
+)
+from repro.evaluation.split import STANDARD_TRAIN_FRACTIONS, time_ordered_split
+from repro.core.config import PipelineConfig
+from repro.experiments.bundle import FractionBundle, train_fraction
+from repro.experiments.scenario import Scenario
+from repro.learning.extraction import extract_greedy_rules, merge_rules
+from repro.learning.qlearning import QLearningConfig, QLearningTrainer
+from repro.mining.clustering import coverage_curve
+from repro.policies.trained import TrainedPolicy
+from repro.recoverylog.process import RecoveryProcess
+from repro.simplatform.platform import SimulationPlatform
+from repro.simplatform.validation import (
+    PlatformValidationReport,
+    validate_platform,
+)
+from repro.util.tables import render_series
+
+__all__ = [
+    "table1_example_process",
+    "fig3_symptom_sets",
+    "fig5_error_type_counts",
+    "fig6_downtime",
+    "fig7_platform_validation",
+    "fig8_trained_relative_cost",
+    "fig9_trained_total_cost",
+    "fig10_coverage",
+    "fig11_hybrid_per_type",
+    "fig12_hybrid_total_cost",
+    "fig13_training_time",
+    "fig14_selection_tree_quality",
+]
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TableOneResult:
+    """A representative recovery process in the paper's Table 1 format."""
+
+    process: RecoveryProcess
+
+    def render(self) -> str:
+        """The figure's rows as an aligned plain-text table."""
+        return self.process.render()
+
+
+def table1_example_process(scenario: Scenario) -> TableOneResult:
+    """Pick a multi-attempt recovery process to display (Table 1)."""
+    for process in scenario.clean:
+        if len(process.actions) >= 2 and len(process.symptoms) >= 2:
+            return TableOneResult(process=process)
+    raise EvaluationError("no multi-attempt recovery process in the trace")
+
+
+# ----------------------------------------------------------------------
+# Figure 3
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig3Result:
+    """Coverage of single-cluster processes per dependence strength."""
+
+    curve: Mapping[float, float]
+
+    def render(self) -> str:
+        """The figure's rows as an aligned plain-text table."""
+        return render_series(
+            {"coverage": dict(self.curve)},
+            x_label="minp",
+            title="Figure 3: symptom sets extracted from recovery log",
+        )
+
+
+def fig3_symptom_sets(
+    scenario: Scenario,
+    minps: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+) -> Fig3Result:
+    """Figure 3: percentage of processes with only dependent symptoms."""
+    return Fig3Result(curve=coverage_curve(scenario.processes, minps))
+
+
+# ----------------------------------------------------------------------
+# Figures 5 and 6
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RankSeriesResult:
+    """A per-frequency-rank series (Figures 5 and 6)."""
+
+    series: Mapping[int, float]
+    label: str
+    title: str
+
+    def render(self) -> str:
+        """The figure's rows as an aligned plain-text table."""
+        return render_series(
+            {self.label: dict(self.series)}, x_label="rank", title=self.title
+        )
+
+
+def fig5_error_type_counts(scenario: Scenario) -> RankSeriesResult:
+    """Figure 5: count of the 40 most frequent error types."""
+    return RankSeriesResult(
+        series={info.rank: info.count for info in scenario.registry},
+        label="count",
+        title="Figure 5: count of 40 most frequent error types",
+    )
+
+
+def fig6_downtime(scenario: Scenario) -> RankSeriesResult:
+    """Figure 6: total downtime per error type (user-defined policy)."""
+    return RankSeriesResult(
+        series={
+            info.rank: info.total_downtime for info in scenario.registry
+        },
+        label="downtime_s",
+        title="Figure 6: total downtime of 40 most frequent error types",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 7
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig7Result:
+    """Platform validation: estimated/real ratios per type."""
+
+    report: PlatformValidationReport
+    ranks: Mapping[str, int]
+
+    def render(self) -> str:
+        """The figure's rows as an aligned plain-text table."""
+        return self.report.render(self.ranks)
+
+
+def fig7_platform_validation(scenario: Scenario) -> Fig7Result:
+    """Figure 7: replay the generating policy; compare estimated vs real."""
+    report = validate_platform(
+        scenario.clean,
+        scenario.user_policy,
+        scenario.catalog,
+        error_types=scenario.registry.names,
+    )
+    return Fig7Result(report=report, ranks=scenario.ranks)
+
+
+# ----------------------------------------------------------------------
+# Figures 8-12 (trained/hybrid evaluations over the four tests)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PerTypeCostResult:
+    """Relative time cost per error type for several evaluations."""
+
+    evaluations: Tuple[EvaluationResult, ...]
+    ranks: Mapping[str, int]
+    title: str
+
+    def render(self) -> str:
+        """The figure's rows as an aligned plain-text table."""
+        return render_relative_costs(
+            list(self.evaluations), self.ranks, title=self.title
+        )
+
+
+@dataclass(frozen=True)
+class TotalsResult:
+    """Total time cost per test: baseline vs candidate policy."""
+
+    pairs: Tuple[Tuple[EvaluationResult, EvaluationResult], ...]
+    title: str
+
+    def render(self) -> str:
+        """The figure's rows as an aligned plain-text table."""
+        return render_totals(list(self.pairs), title=self.title)
+
+    def relative_by_fraction(self) -> Dict[float, float]:
+        """``{train fraction: candidate/baseline total cost}``."""
+        return {
+            candidate.train_fraction: candidate.overall_relative_cost
+            for _baseline, candidate in self.pairs
+        }
+
+
+def _bundles(
+    scenario: Scenario,
+    fractions: Sequence[float],
+    config: Optional["PipelineConfig"] = None,
+) -> List[FractionBundle]:
+    return [
+        train_fraction(scenario, fraction, config=config)
+        for fraction in fractions
+    ]
+
+
+def fig8_trained_relative_cost(
+    scenario: Scenario,
+    fractions: Sequence[float] = STANDARD_TRAIN_FRACTIONS,
+    config: Optional["PipelineConfig"] = None,
+) -> PerTypeCostResult:
+    """Figure 8: relative cost of the trained policy per type, 4 tests."""
+    bundles = _bundles(scenario, fractions, config)
+    return PerTypeCostResult(
+        evaluations=tuple(b.trained_eval for b in bundles),
+        ranks=scenario.ranks,
+        title="Figure 8: relative time cost of trained policy",
+    )
+
+
+def fig9_trained_total_cost(
+    scenario: Scenario,
+    fractions: Sequence[float] = STANDARD_TRAIN_FRACTIONS,
+    config: Optional["PipelineConfig"] = None,
+) -> TotalsResult:
+    """Figure 9: total time cost, user-defined vs trained, per test."""
+    bundles = _bundles(scenario, fractions, config)
+    return TotalsResult(
+        pairs=tuple(
+            (b.user_eval, b.trained_eval) for b in bundles
+        ),
+        title="Figure 9: total time cost of trained policy",
+    )
+
+
+@dataclass(frozen=True)
+class CoverageResult:
+    """Coverage per error type for each train fraction (Figure 10)."""
+
+    evaluations: Tuple[EvaluationResult, ...]
+    ranks: Mapping[str, int]
+
+    def render(self) -> str:
+        """The figure's rows as an aligned plain-text table."""
+        return render_coverage(
+            list(self.evaluations),
+            self.ranks,
+            title="Figure 10: coverage of the trained policy",
+        )
+
+
+def fig10_coverage(
+    scenario: Scenario,
+    fractions: Sequence[float] = STANDARD_TRAIN_FRACTIONS,
+    config: Optional["PipelineConfig"] = None,
+) -> CoverageResult:
+    """Figure 10: fraction of test processes the trained policy handles."""
+    bundles = _bundles(scenario, fractions, config)
+    return CoverageResult(
+        evaluations=tuple(b.trained_eval for b in bundles),
+        ranks=scenario.ranks,
+    )
+
+
+def fig11_hybrid_per_type(
+    scenario: Scenario,
+    fractions: Sequence[float] = (0.2, 0.4),
+    config: Optional["PipelineConfig"] = None,
+) -> Tuple[PerTypeCostResult, ...]:
+    """Figure 11 (a)(b): trained vs hybrid per type at 20% and 40%."""
+    results = []
+    for fraction in fractions:
+        bundle = train_fraction(scenario, fraction, config=config)
+        results.append(
+            PerTypeCostResult(
+                evaluations=(bundle.trained_eval, bundle.hybrid_eval),
+                ranks=scenario.ranks,
+                title=(
+                    "Figure 11: trained vs hybrid policy "
+                    f"(training fraction {fraction:g})"
+                ),
+            )
+        )
+    return tuple(results)
+
+
+def fig12_hybrid_total_cost(
+    scenario: Scenario,
+    fractions: Sequence[float] = STANDARD_TRAIN_FRACTIONS,
+    config: Optional["PipelineConfig"] = None,
+) -> TotalsResult:
+    """Figure 12: total time cost, user-defined vs hybrid, per test."""
+    bundles = _bundles(scenario, fractions, config)
+    return TotalsResult(
+        pairs=tuple((b.user_eval, b.hybrid_eval) for b in bundles),
+        title="Figure 12: total time cost of hybrid approach",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 13 and 14 (selection tree vs standard training)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TreeComparisonResult:
+    """Standard vs selection-tree training, per error type.
+
+    Attributes
+    ----------
+    tree_sweeps / standard_sweeps:
+        Sweeps before convergence per type (Figure 13 series).
+    standard_converged:
+        Whether the standard course converged within its cap.
+    tree_eval / standard_eval:
+        Test-set evaluations of the extracted policies (Figure 14).
+    standard_cap:
+        The standard course's sweep budget (the paper's 160k analogue).
+    """
+
+    ranks: Mapping[str, int]
+    tree_sweeps: Mapping[str, int]
+    standard_sweeps: Mapping[str, int]
+    standard_converged: Mapping[str, bool]
+    tree_eval: EvaluationResult
+    standard_eval: EvaluationResult
+    standard_cap: int
+
+    def render_fig13(self) -> str:
+        """Figure 13's series: sweeps per rank, both methods."""
+        # Types trained from a split subset may fall outside the
+        # scenario-level top-k ranking; list them after the ranked ones.
+        def rank_of(error_type: str) -> int:
+            return self.ranks.get(error_type, 10**6)
+
+        series = {
+            "with_tree": {
+                rank_of(t): float(v) for t, v in self.tree_sweeps.items()
+            },
+            "without_tree": {
+                rank_of(t): float(v)
+                for t, v in self.standard_sweeps.items()
+            },
+        }
+        return render_series(
+            series, x_label="rank", title="Figure 13: training time (sweeps)"
+        )
+
+    def render_fig14(self) -> str:
+        """Figure 14's series: per-type relative cost, both methods."""
+        return render_relative_costs(
+            [self.tree_eval, self.standard_eval],
+            self.ranks,
+            title="Figure 14: policy quality, with vs without selection tree",
+        )
+
+
+_TREE_COMPARISON_CACHE: Dict[tuple, TreeComparisonResult] = {}
+
+
+def _tree_comparison(
+    scenario: Scenario,
+    fraction: float = 0.4,
+    standard_cap: int = 280,
+    config: Optional["PipelineConfig"] = None,
+) -> TreeComparisonResult:
+    """Run both training courses once and cache the comparison."""
+    key = (id(scenario), fraction, standard_cap, config)
+    if key in _TREE_COMPARISON_CACHE:
+        return _TREE_COMPARISON_CACHE[key]
+
+    bundle = train_fraction(scenario, fraction, config=config)
+    learner = bundle.learner
+    assert learner.training_result_ is not None
+    tree_sweeps = learner.training_result_.sweeps_to_convergence()
+
+    # Standard course: same platform data, no tree checks, greedy
+    # extraction after (attempted) annealed convergence.
+    train, test = time_ordered_split(scenario.processes, fraction)
+    from repro.mining.noise import filter_noise
+
+    clean_train = filter_noise(train).clean
+    registry = learner.registry_
+    assert registry is not None
+    groups = registry.partition(clean_train)
+    platform = SimulationPlatform(clean_train, scenario.catalog)
+    import dataclasses
+
+    base_qlearning = (
+        config.qlearning if config is not None else QLearningConfig()
+    )
+    trainer = QLearningTrainer(
+        platform,
+        dataclasses.replace(base_qlearning, max_sweeps=standard_cap),
+    )
+    standard_sweeps: Dict[str, int] = {}
+    standard_converged: Dict[str, bool] = {}
+    rule_tables = []
+    for error_type, processes in groups.items():
+        if error_type not in tree_sweeps or not processes:
+            continue
+        result = trainer.train_type(error_type, processes)
+        standard_sweeps[error_type] = result.sweeps_to_convergence
+        standard_converged[error_type] = result.converged
+        rule_tables.append(extract_greedy_rules(result.qtable))
+    standard_policy = TrainedPolicy(
+        merge_rules(*rule_tables), label="standard-RL"
+    )
+
+    evaluator = learner.make_evaluator(test, filter_test_noise=False)
+    comparison = TreeComparisonResult(
+        ranks=scenario.ranks,
+        tree_sweeps=tree_sweeps,
+        standard_sweeps=standard_sweeps,
+        standard_converged=standard_converged,
+        tree_eval=evaluator.evaluate(
+            learner.trained_policy("with-tree"), train_fraction=fraction
+        ),
+        standard_eval=evaluator.evaluate(
+            standard_policy, train_fraction=fraction
+        ),
+        standard_cap=standard_cap,
+    )
+    _TREE_COMPARISON_CACHE[key] = comparison
+    return comparison
+
+
+def fig13_training_time(
+    scenario: Scenario,
+    fraction: float = 0.4,
+    standard_cap: int = 280,
+    config: Optional["PipelineConfig"] = None,
+) -> TreeComparisonResult:
+    """Figure 13: sweeps before convergence, with vs without the tree."""
+    return _tree_comparison(scenario, fraction, standard_cap, config)
+
+
+def fig14_selection_tree_quality(
+    scenario: Scenario,
+    fraction: float = 0.4,
+    standard_cap: int = 280,
+    config: Optional["PipelineConfig"] = None,
+) -> TreeComparisonResult:
+    """Figure 14: extracted policy quality, with vs without the tree."""
+    return _tree_comparison(scenario, fraction, standard_cap, config)

@@ -1,0 +1,143 @@
+"""Selection-tree threshold sensitivity (DESIGN.md ablation 3).
+
+The tree's ``threshold`` decides how close the second-best action's Q
+value must be to join the candidate set: wider thresholds enumerate (and
+exactly evaluate) more candidate policies per check, trading training
+time for robustness to Q-estimate noise.  This sweep measures both sides
+of the trade on a subset of error types.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.evaluation.evaluator import PolicyEvaluator
+from repro.evaluation.split import time_ordered_split
+from repro.experiments.scenario import Scenario
+from repro.learning.extraction import merge_rules
+from repro.learning.qlearning import QLearningConfig, QLearningTrainer
+from repro.learning.selection_tree import (
+    SelectionTreeConfig,
+    SelectionTreeExtractor,
+)
+from repro.mining.noise import filter_noise
+from repro.errortypes.registry import ErrorTypeRegistry
+from repro.policies.trained import TrainedPolicy
+from repro.simplatform.platform import SimulationPlatform
+from repro.util.tables import render_table
+
+__all__ = ["ThresholdSweepPoint", "ThresholdSweepResult", "sweep_tree_threshold"]
+
+
+@dataclass(frozen=True)
+class ThresholdSweepPoint:
+    """Measurements at one threshold value.
+
+    Attributes
+    ----------
+    threshold:
+        The candidate-closeness threshold.
+    relative_cost:
+        Held-out overall relative downtime of the extracted policy.
+    mean_candidates:
+        Average candidate policies enumerated at the final check.
+    mean_sweeps:
+        Average sweeps before the tree course converged.
+    """
+
+    threshold: float
+    relative_cost: float
+    mean_candidates: float
+    mean_sweeps: float
+
+
+@dataclass(frozen=True)
+class ThresholdSweepResult:
+    """The full threshold sweep."""
+
+    points: Tuple[ThresholdSweepPoint, ...]
+
+    def render(self) -> str:
+        """Aligned table of the sweep's points."""
+        rows = [
+            (
+                f"{p.threshold:g}",
+                f"{p.relative_cost:.4f}",
+                f"{p.mean_candidates:.1f}",
+                f"{p.mean_sweeps:.0f}",
+            )
+            for p in self.points
+        ]
+        return render_table(
+            ["threshold", "relative cost", "candidates", "sweeps"],
+            rows,
+            title="Sensitivity: selection-tree threshold",
+        )
+
+
+def sweep_tree_threshold(
+    scenario: Scenario,
+    thresholds: Sequence[float] = (0.0, 0.1, 0.3, 0.6),
+    *,
+    fraction: float = 0.4,
+    top_k: int = 12,
+    qlearning: QLearningConfig = None,
+) -> ThresholdSweepResult:
+    """Train the top-``top_k`` types at each threshold and compare.
+
+    A reduced type set keeps the sweep affordable; the threshold's
+    effect is per-type, so the subset is representative.
+    """
+    train, test = time_ordered_split(scenario.processes, fraction)
+    clean_train = filter_noise(train).clean
+    clean_test = filter_noise(test).clean
+    registry = ErrorTypeRegistry.from_processes(clean_train).top(top_k)
+    groups = registry.partition(clean_train)
+    platform = SimulationPlatform(clean_train, scenario.catalog)
+    if qlearning is None:
+        qlearning = QLearningConfig()
+    evaluator = PolicyEvaluator(
+        clean_test, scenario.catalog, error_types=registry.names
+    )
+
+    points = []
+    for threshold in thresholds:
+        trainer = QLearningTrainer(platform, qlearning)
+        extractor = SelectionTreeExtractor(
+            platform, SelectionTreeConfig(threshold=threshold)
+        )
+        tables = []
+        candidate_counts = []
+        sweeps = []
+        for error_type in registry.names:
+            processes = groups[error_type]
+            if not processes:
+                continue
+            outcome = extractor.train_type(
+                trainer, error_type, processes,
+                baseline=scenario.user_policy,
+            )
+            tables.append(outcome.rules)
+            candidate_counts.append(outcome.candidates_evaluated)
+            sweeps.append(outcome.training.sweeps_to_convergence)
+        policy = TrainedPolicy(
+            merge_rules(*tables), label=f"tree@{threshold:g}"
+        )
+        result = evaluator.evaluate(policy)
+        points.append(
+            ThresholdSweepPoint(
+                threshold=threshold,
+                relative_cost=result.overall_relative_cost,
+                mean_candidates=(
+                    sum(candidate_counts) / len(candidate_counts)
+                    if candidate_counts
+                    else 0.0
+                ),
+                mean_sweeps=(
+                    sum(sweeps) / len(sweeps) if sweeps else 0.0
+                ),
+            )
+        )
+    return ThresholdSweepResult(points=tuple(points))

@@ -1,0 +1,134 @@
+"""Exploration strategies (Section 3.3).
+
+The paper uses the Boltzmann distribution over Q values,
+
+    P(a | s) = exp(-Q(s, a) / T) / sum_a' exp(-Q(s, a') / T),
+
+with a temperature ``T`` that decreases as more recovery processes are
+analyzed, moving the learning course from exploration to search like
+simulated annealing.  An epsilon-greedy explorer is provided for the
+exploration-strategy ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive, check_probability
+
+__all__ = ["TemperatureSchedule", "BoltzmannExplorer", "EpsilonGreedyExplorer"]
+
+
+@dataclass(frozen=True)
+class TemperatureSchedule:
+    """Geometric annealing: ``T(k) = max(floor, initial * decay ** k)``.
+
+    ``k`` counts *sweeps* (full passes over the type's training
+    processes).  The initial temperature is on the scale of Q values
+    (seconds), so that early selection is near-uniform.
+    """
+
+    initial: float = 20_000.0
+    decay: float = 0.98
+    floor: float = 50.0
+
+    def __post_init__(self) -> None:
+        check_positive("initial", self.initial)
+        check_positive("floor", self.floor)
+        if not 0.0 < self.decay <= 1.0:
+            raise ConfigurationError(
+                f"decay must be in (0, 1], got {self.decay}"
+            )
+        if self.floor > self.initial:
+            raise ConfigurationError(
+                "floor temperature must not exceed the initial temperature"
+            )
+
+    def temperature(self, sweep: int) -> float:
+        """The temperature at 0-based sweep index ``sweep``."""
+        if sweep < 0:
+            raise ConfigurationError(f"sweep must be >= 0, got {sweep}")
+        return max(self.floor, self.initial * self.decay**sweep)
+
+    def is_search_phase(self, sweep: int, threshold_ratio: float = 2.0) -> bool:
+        """Whether annealing has essentially reached the floor."""
+        return self.temperature(sweep) <= self.floor * threshold_ratio
+
+
+class BoltzmannExplorer:
+    """Stochastic action selection by the Boltzmann distribution."""
+
+    def __init__(
+        self,
+        schedule: Optional[TemperatureSchedule] = None,
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.schedule = schedule if schedule is not None else TemperatureSchedule()
+        self._rng = rng if rng is not None else make_rng(seed)
+
+    def probabilities(
+        self, q_values: Mapping[str, float], sweep: int
+    ) -> Mapping[str, float]:
+        """Selection probabilities for each action at this sweep."""
+        if not q_values:
+            raise ConfigurationError("q_values must be non-empty")
+        temperature = self.schedule.temperature(sweep)
+        names = list(q_values.keys())
+        values = np.array([q_values[n] for n in names], dtype=float)
+        # Costs are minimized: lower Q => higher probability.  Shift by the
+        # minimum for numerical stability (invariant under softmax).
+        logits = -(values - values.min()) / temperature
+        weights = np.exp(logits)
+        probabilities = weights / weights.sum()
+        return dict(zip(names, probabilities))
+
+    def select(self, q_values: Mapping[str, float], sweep: int) -> str:
+        """Draw one action."""
+        probabilities = self.probabilities(q_values, sweep)
+        names = list(probabilities.keys())
+        p = np.array([probabilities[n] for n in names])
+        return names[int(self._rng.choice(len(names), p=p))]
+
+
+class EpsilonGreedyExplorer:
+    """Epsilon-greedy selection with geometric epsilon decay (ablation).
+
+    With probability ``epsilon(sweep)`` a uniformly random action is
+    taken; otherwise the minimum-Q action.
+    """
+
+    def __init__(
+        self,
+        epsilon_initial: float = 1.0,
+        decay: float = 0.98,
+        floor: float = 0.01,
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        check_probability("epsilon_initial", epsilon_initial)
+        check_probability("floor", floor)
+        if not 0.0 < decay <= 1.0:
+            raise ConfigurationError(f"decay must be in (0, 1], got {decay}")
+        self._epsilon_initial = epsilon_initial
+        self._decay = decay
+        self._floor = floor
+        self._rng = rng if rng is not None else make_rng(seed)
+
+    def epsilon(self, sweep: int) -> float:
+        """Exploration rate at 0-based sweep index ``sweep``."""
+        return max(self._floor, self._epsilon_initial * self._decay**sweep)
+
+    def select(self, q_values: Mapping[str, float], sweep: int) -> str:
+        """Draw one action: random w.p. epsilon, else the minimum-Q one."""
+        if not q_values:
+            raise ConfigurationError("q_values must be non-empty")
+        names = list(q_values.keys())
+        if self._rng.random() < self.epsilon(sweep):
+            return names[int(self._rng.integers(0, len(names)))]
+        return min(names, key=lambda n: q_values[n])

@@ -1,0 +1,35 @@
+"""Markov-decision-process formalization of error recovery (Section 2.1).
+
+Recovery is a sequential decision problem: in an error state, pick a
+repair action, pay its time cost, and transition to either a healthy
+(terminal) state or a follow-up error state.  States are
+``(error_type, result, actions tried so far)`` tuples; the objective is to
+minimize expected cumulative cost — the mean time to repair.
+
+This package also provides a generic finite MDP with value iteration,
+used both as a *model-based* comparator baseline (the contrast the paper
+draws with Joshi et al.) and as ground truth in tests that check
+Q-learning converges to the true optimum.
+"""
+
+from repro.mdp.state import RecoveryState
+from repro.mdp.model import FiniteMDP, Transition
+from repro.mdp.value_iteration import (
+    ValueIterationResult,
+    greedy_policy_from_values,
+    q_values_from_values,
+    value_iteration,
+)
+from repro.mdp.contraction import is_proper_policy, max_episode_length_bound
+
+__all__ = [
+    "RecoveryState",
+    "FiniteMDP",
+    "Transition",
+    "ValueIterationResult",
+    "value_iteration",
+    "q_values_from_values",
+    "greedy_policy_from_values",
+    "is_proper_policy",
+    "max_episode_length_bound",
+]

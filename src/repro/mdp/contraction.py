@@ -1,0 +1,86 @@
+"""Proper-policy checks.
+
+Section 3.2 caps every recovery process at ``N`` repair actions, ending in
+a manual repair; this makes every policy *proper* (reaches a terminal
+state with probability 1), which by the value-contraction theorem the
+paper cites guarantees Q-learning converges with probability 1.  These
+helpers verify the property on explicit models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Set
+
+from repro.mdp.model import FiniteMDP
+
+__all__ = ["is_proper_policy", "max_episode_length_bound"]
+
+State = Hashable
+Action = Hashable
+
+
+def is_proper_policy(mdp: FiniteMDP, policy: Mapping[State, Action]) -> bool:
+    """True if following ``policy`` reaches a terminal state with prob. 1.
+
+    A policy is proper iff, in the Markov chain it induces, every state
+    can reach a terminal state through transitions of positive
+    probability (no recurrent class avoids the terminals).
+    """
+    # Backward reachability: start from terminals, repeatedly add states
+    # with a positive-probability one-step path into the reachable set.
+    reachable: Set[State] = set(mdp.terminal_states)
+    changed = True
+    while changed:
+        changed = False
+        for state in mdp.states:
+            if state in reachable:
+                continue
+            action = policy.get(state)
+            if action is None:
+                continue
+            for outcome in mdp.outcomes(state, action):
+                if outcome.probability > 0 and outcome.next_state in reachable:
+                    reachable.add(state)
+                    changed = True
+                    break
+    return all(state in reachable for state in mdp.states)
+
+
+def max_episode_length_bound(mdp: FiniteMDP) -> int:
+    """Longest acyclic action path to a terminal state, or -1 if cyclic.
+
+    Recovery MDPs are DAGs over action histories (each action extends the
+    history), so a finite bound exists; a return of -1 flags a model where
+    episodes could be unbounded even under proper policies.
+    """
+    memo: Dict[State, int] = {t: 0 for t in mdp.terminal_states}
+    visiting: Set[State] = set()
+
+    def longest(state: State) -> int:
+        if state in memo:
+            return memo[state]
+        if state in visiting:
+            return -1  # cycle
+        visiting.add(state)
+        best = 0
+        for action in mdp.actions(state):
+            for outcome in mdp.outcomes(state, action):
+                if outcome.probability <= 0:
+                    continue
+                sub = longest(outcome.next_state)
+                if sub < 0:
+                    visiting.discard(state)
+                    memo[state] = -1
+                    return -1
+                best = max(best, 1 + sub)
+        visiting.discard(state)
+        memo[state] = best
+        return best
+
+    overall = 0
+    for state in mdp.states:
+        length = longest(state)
+        if length < 0:
+            return -1
+        overall = max(overall, length)
+    return overall

@@ -1,0 +1,202 @@
+"""Empirical recovery MDP and the model-based comparator baseline.
+
+The paper pursues *model-free* Q-learning because detailed system models
+are unavailable.  For comparison (the Joshi et al. contrast in its
+introduction), this module builds the best model one *can* estimate from
+the log alone — a belief MDP over the hidden required-action multiset —
+and solves it with value iteration:
+
+* A state is the multiset of actions tried so far (order is irrelevant
+  to the replay hypotheses, so multisets are canonical and keep the
+  state space small).
+* The processes *consistent* with a state are those its tried actions do
+  not already cure; the success probability of action ``a`` is the
+  fraction of consistent processes that ``tried + [a]`` cures.
+* Costs come from the same per-(type, action) averages the simulation
+  platform uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.actions.action import ActionCatalog
+from repro.errors import EvaluationError, UnhandledStateError
+from repro.mdp.model import FiniteMDP, Transition
+from repro.mdp.state import RecoveryState
+from repro.mdp.value_iteration import (
+    greedy_policy_from_values,
+    value_iteration,
+)
+from repro.policies.base import Policy, PolicyDecision
+from repro.recoverylog.process import RecoveryProcess
+from repro.simplatform.coststats import CostStatistics
+from repro.simplatform.hypotheses import covers, required_strengths
+
+__all__ = ["EmpiricalRecoveryMDP", "EmpiricalMDPPolicy"]
+
+CanonicalState = Tuple[str, ...]  # sorted tried action names
+TERMINAL = "<healthy>"
+
+
+@dataclass
+class EmpiricalRecoveryMDP:
+    """The belief MDP of one error type, estimated from its processes.
+
+    Build with :meth:`estimate`; ``solve`` runs value iteration and
+    returns the optimal action per canonical state.
+    """
+
+    error_type: str
+    mdp: FiniteMDP
+    initial_state: CanonicalState
+    expected_initial_delay: float
+
+    @classmethod
+    def estimate(
+        cls,
+        error_type: str,
+        processes: Sequence[RecoveryProcess],
+        catalog: ActionCatalog,
+        stats: Optional[CostStatistics] = None,
+        *,
+        max_actions: int = 20,
+        last_action_only: bool = False,
+    ) -> "EmpiricalRecoveryMDP":
+        """Estimate the belief MDP from the type's recovery processes."""
+        if not processes:
+            raise EvaluationError(
+                f"no processes to estimate a model for {error_type!r}"
+            )
+        if stats is None:
+            stats = CostStatistics.from_processes(processes, catalog)
+        required = [
+            required_strengths(p, catalog, last_action_only=last_action_only)
+            for p in processes
+        ]
+        strengths = {a.name: a.strength for a in catalog}
+        manual = catalog.strongest.name
+        # Generous bound: the cap forces manual actions, each of maximal
+        # strength, so any finite required multiset is eventually covered.
+        hard_depth = max_actions - 1 + max(
+            (len(r) for r in required), default=0
+        )
+
+        transitions: Dict[CanonicalState, Dict[str, List[Transition]]] = {}
+        frontier: List[CanonicalState] = [()]
+        seen = {()}
+        while frontier:
+            state = frontier.pop()
+            tried = [strengths[name] for name in state]
+            consistent = [
+                r for r in required if not covers(r, tried)
+            ]
+            if not consistent:
+                # Unreachable in practice; model it as cured by anything.
+                consistent = [()]
+            if len(state) >= max_actions - 1:
+                available = [manual]
+            else:
+                available = list(catalog.names())
+            action_table: Dict[str, List[Transition]] = {}
+            for action_name in available:
+                executed = tried + [strengths[action_name]]
+                cured = sum(1 for r in consistent if covers(r, executed))
+                p_success = cured / len(consistent)
+                if len(state) + 1 >= hard_depth:
+                    p_success = 1.0  # safety valve; never reached in data
+                outcomes = []
+                if p_success > 0:
+                    outcomes.append(
+                        Transition(
+                            probability=p_success,
+                            cost=stats.success_cost(error_type, action_name),
+                            next_state=TERMINAL,
+                        )
+                    )
+                if p_success < 1:
+                    successor = tuple(sorted(state + (action_name,)))
+                    outcomes.append(
+                        Transition(
+                            probability=1 - p_success,
+                            cost=stats.failure_cost(error_type, action_name),
+                            next_state=successor,
+                        )
+                    )
+                    if successor not in seen:
+                        seen.add(successor)
+                        frontier.append(successor)
+                action_table[action_name] = outcomes
+            transitions[state] = action_table
+
+        return cls(
+            error_type=error_type,
+            mdp=FiniteMDP(transitions, terminal_states=[TERMINAL]),
+            initial_state=(),
+            expected_initial_delay=stats.initial_delay(error_type),
+        )
+
+    def solve(self) -> Tuple[Dict[CanonicalState, str], float]:
+        """Value-iterate; return (optimal action per state, V*(initial))."""
+        result = value_iteration(self.mdp)
+        policy = greedy_policy_from_values(self.mdp, result.values)
+        return (
+            {state: str(action) for state, action in policy.items()},
+            float(result.values[self.initial_state]),
+        )
+
+
+class EmpiricalMDPPolicy(Policy):
+    """A recovery policy backed by per-type solved empirical MDPs.
+
+    The model-based comparator: given the same log, how well does
+    explicit model estimation plus dynamic programming do against
+    model-free Q-learning?
+    """
+
+    def __init__(
+        self,
+        solutions: Mapping[str, Mapping[CanonicalState, str]],
+    ) -> None:
+        self._solutions = {
+            error_type: dict(table)
+            for error_type, table in solutions.items()
+        }
+
+    @classmethod
+    def fit(
+        cls,
+        processes_by_type: Mapping[str, Sequence[RecoveryProcess]],
+        catalog: ActionCatalog,
+        *,
+        max_actions: int = 20,
+    ) -> "EmpiricalMDPPolicy":
+        """Estimate and solve one MDP per error type."""
+        solutions = {}
+        for error_type, processes in processes_by_type.items():
+            if not processes:
+                continue
+            model = EmpiricalRecoveryMDP.estimate(
+                error_type, processes, catalog, max_actions=max_actions
+            )
+            solutions[error_type], _value = model.solve()
+        return cls(solutions)
+
+    @property
+    def name(self) -> str:
+        return "model-based"
+
+    def decide(self, state: RecoveryState) -> PolicyDecision:
+        table = self._solutions.get(state.error_type)
+        if table is None:
+            raise UnhandledStateError(
+                f"no model for error type {state.error_type!r}", state=state
+            )
+        canonical = tuple(sorted(state.tried))
+        action = table.get(canonical)
+        if action is None:
+            raise UnhandledStateError(
+                f"model never expanded state {state}", state=state
+            )
+        return PolicyDecision(action=action, source=self.name)

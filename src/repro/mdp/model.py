@@ -1,0 +1,139 @@
+"""A generic finite Markov decision process with cost minimization.
+
+States and actions are arbitrary hashables.  Transitions carry a
+probability and an immediate cost; terminal states have no outgoing
+transitions.  This is the substrate for the model-based comparator
+baseline and for tests that validate Q-learning against value iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Transition", "FiniteMDP"]
+
+State = Hashable
+Action = Hashable
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One ``(probability, cost, next_state)`` outcome of an action."""
+
+    probability: float
+    cost: float
+    next_state: State
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"transition probability must be in [0, 1], got {self.probability}"
+            )
+
+
+class FiniteMDP:
+    """A finite MDP defined by an explicit transition table.
+
+    Parameters
+    ----------
+    transitions:
+        ``{state: {action: [Transition, ...]}}``.  Outcome probabilities
+        for each (state, action) must sum to 1 (within tolerance).
+    terminal_states:
+        States with no available actions.  Reaching one ends the episode
+        with zero further cost.
+    """
+
+    def __init__(
+        self,
+        transitions: Mapping[State, Mapping[Action, Sequence[Transition]]],
+        terminal_states: Iterable[State] = (),
+        *,
+        probability_tolerance: float = 1e-9,
+    ) -> None:
+        self._transitions: Dict[State, Dict[Action, Tuple[Transition, ...]]] = {}
+        self._terminal: Set[State] = set(terminal_states)
+        for state, actions in transitions.items():
+            if state in self._terminal:
+                raise ConfigurationError(
+                    f"terminal state {state!r} must not have transitions"
+                )
+            if not actions:
+                raise ConfigurationError(
+                    f"non-terminal state {state!r} has no actions"
+                )
+            table: Dict[Action, Tuple[Transition, ...]] = {}
+            for action, outcomes in actions.items():
+                outcome_list = tuple(outcomes)
+                if not outcome_list:
+                    raise ConfigurationError(
+                        f"(state={state!r}, action={action!r}) has no outcomes"
+                    )
+                total = sum(t.probability for t in outcome_list)
+                if abs(total - 1.0) > probability_tolerance:
+                    raise ConfigurationError(
+                        f"(state={state!r}, action={action!r}) outcome "
+                        f"probabilities sum to {total}, expected 1"
+                    )
+                table[action] = outcome_list
+            self._transitions[state] = table
+        # Every referenced next_state must be known (has transitions or is
+        # terminal); otherwise value iteration would silently treat it as
+        # free, which hides modeling bugs.
+        known = set(self._transitions) | self._terminal
+        for state, actions in self._transitions.items():
+            for action, outcomes in actions.items():
+                for outcome in outcomes:
+                    if outcome.next_state not in known:
+                        raise ConfigurationError(
+                            f"(state={state!r}, action={action!r}) leads to "
+                            f"unknown state {outcome.next_state!r}"
+                        )
+
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> Tuple[State, ...]:
+        """All non-terminal states."""
+        return tuple(self._transitions.keys())
+
+    @property
+    def terminal_states(self) -> Tuple[State, ...]:
+        """All terminal states."""
+        return tuple(self._terminal)
+
+    def is_terminal(self, state: State) -> bool:
+        """Whether ``state`` ends the episode."""
+        return state in self._terminal
+
+    def actions(self, state: State) -> Tuple[Action, ...]:
+        """Actions available in ``state`` (empty for terminal states)."""
+        if state in self._terminal:
+            return ()
+        try:
+            return tuple(self._transitions[state].keys())
+        except KeyError:
+            raise ConfigurationError(f"unknown state {state!r}") from None
+
+    def outcomes(self, state: State, action: Action) -> Tuple[Transition, ...]:
+        """The outcome distribution of taking ``action`` in ``state``."""
+        try:
+            return self._transitions[state][action]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown (state, action) pair ({state!r}, {action!r})"
+            ) from None
+
+    def expected_cost(self, state: State, action: Action) -> float:
+        """Immediate expected cost of ``action`` in ``state``."""
+        return sum(t.probability * t.cost for t in self.outcomes(state, action))
+
+    def successor_states(self, state: State, action: Action) -> List[State]:
+        """Distinct possible next states."""
+        seen: List[State] = []
+        for outcome in self.outcomes(state, action):
+            if outcome.next_state not in seen:
+                seen.append(outcome.next_state)
+        return seen

@@ -1,0 +1,105 @@
+"""Recovery states.
+
+Section 3.2: a state is a tuple ``(e, r, a_0, a_1, ..., a_{t-1})`` where
+``e`` is the error type, ``r`` is the recovery result so far (failure or
+health) and the ``a_i`` are the repair actions already executed.  Before
+the final, curing action the result is always failure; after it the state
+is healthy and terminal.  Tracking the full action history keeps the
+process Markov.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Counter as CounterType, Tuple
+from collections import Counter
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RecoveryState"]
+
+
+@dataclass(frozen=True)
+class RecoveryState:
+    """One MDP state of a recovery process.
+
+    Attributes
+    ----------
+    error_type:
+        The induced error type (the process's initial symptom).
+    healthy:
+        The recovery result ``r``: False while the error persists,
+        True once recovery succeeded (terminal).
+    tried:
+        Names of the repair actions executed so far, in order.
+    """
+
+    error_type: str
+    healthy: bool = False
+    tried: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.error_type:
+            raise ConfigurationError("error_type must be non-empty")
+        if self.healthy and not self.tried:
+            raise ConfigurationError(
+                "a healthy state implies at least one executed action"
+            )
+
+    @classmethod
+    def initial(cls, error_type: str) -> "RecoveryState":
+        """The starting state ``(e, f)`` right after an error is detected."""
+        return cls(error_type=error_type, healthy=False, tried=())
+
+    @property
+    def is_terminal(self) -> bool:
+        """Healthy states are terminal: no further action is selected."""
+        return self.healthy
+
+    @property
+    def attempt_count(self) -> int:
+        """How many repair actions have been executed."""
+        return len(self.tried)
+
+    @property
+    def last_action(self) -> str:
+        """The most recently executed action name.
+
+        Raises :class:`ConfigurationError` when no action has run yet.
+        """
+        if not self.tried:
+            raise ConfigurationError("no action has been executed yet")
+        return self.tried[-1]
+
+    def tried_counts(self) -> CounterType[str]:
+        """Multiset of executed action names."""
+        return Counter(self.tried)
+
+    def after(self, action_name: str, healthy: bool) -> "RecoveryState":
+        """The successor state after executing ``action_name``.
+
+        Per equation (4), the successor is one of exactly two states: the
+        failure continuation ``(e, f, ..., a)`` or the terminal healthy
+        state ``(e, h, ..., a)``.
+        """
+        if self.healthy:
+            raise ConfigurationError(
+                "cannot execute an action in a terminal (healthy) state"
+            )
+        if not action_name:
+            raise ConfigurationError("action_name must be non-empty")
+        return RecoveryState(
+            error_type=self.error_type,
+            healthy=healthy,
+            tried=self.tried + (action_name,),
+        )
+
+    def key(self) -> Tuple[str, bool, Tuple[str, ...]]:
+        """A hashable key; equals the dataclass identity, provided for
+        symmetry with serialized representations."""
+        return (self.error_type, self.healthy, self.tried)
+
+    def __str__(self) -> str:
+        result = "h" if self.healthy else "f"
+        history = ",".join(self.tried) if self.tried else "-"
+        return f"({self.error_type}, {result}, [{history}])"

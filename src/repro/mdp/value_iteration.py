@@ -1,0 +1,128 @@
+"""Value iteration for cost-minimizing finite MDPs.
+
+This is the *model-based* route to an optimal recovery policy: when the
+transition function is known (or estimated), dynamic programming finds the
+optimum directly.  The paper's introduction contrasts this (Joshi et al.)
+with the model-free Q-learning route it pursues; we implement both so the
+benchmark suite can compare them on the same empirical model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+from repro.mdp.model import FiniteMDP
+
+__all__ = [
+    "ValueIterationResult",
+    "value_iteration",
+    "q_values_from_values",
+    "greedy_policy_from_values",
+]
+
+State = Hashable
+Action = Hashable
+
+
+@dataclass(frozen=True)
+class ValueIterationResult:
+    """Output of :func:`value_iteration`.
+
+    Attributes
+    ----------
+    values:
+        Optimal expected cost-to-go ``V*(s)`` for every state.
+    iterations:
+        Sweeps executed before convergence.
+    residual:
+        Final max-norm Bellman residual.
+    converged:
+        Whether the residual fell below the tolerance within the budget.
+    """
+
+    values: Mapping[State, float]
+    iterations: int
+    residual: float
+    converged: bool
+
+
+def value_iteration(
+    mdp: FiniteMDP,
+    *,
+    discount: float = 1.0,
+    tolerance: float = 1e-9,
+    max_iterations: int = 100_000,
+) -> ValueIterationResult:
+    """Solve ``V(s) = min_a E[cost + discount * V(s')]`` by fixed point.
+
+    With ``discount == 1`` convergence requires every policy to be proper
+    (the paper guarantees this by capping episodes with a manual repair);
+    a non-converging model is reported via ``converged=False`` rather than
+    raising, so callers can diagnose improper models.
+    """
+    if discount <= 0 or discount > 1:
+        raise ConfigurationError(f"discount must be in (0, 1], got {discount}")
+    values: Dict[State, float] = {s: 0.0 for s in mdp.states}
+    for terminal in mdp.terminal_states:
+        values[terminal] = 0.0
+
+    residual = float("inf")
+    iterations = 0
+    while iterations < max_iterations and residual > tolerance:
+        residual = 0.0
+        iterations += 1
+        for state in mdp.states:
+            best = float("inf")
+            for action in mdp.actions(state):
+                total = 0.0
+                for outcome in mdp.outcomes(state, action):
+                    total += outcome.probability * (
+                        outcome.cost + discount * values[outcome.next_state]
+                    )
+                best = min(best, total)
+            residual = max(residual, abs(best - values[state]))
+            values[state] = best
+    return ValueIterationResult(
+        values=dict(values),
+        iterations=iterations,
+        residual=residual,
+        converged=residual <= tolerance,
+    )
+
+
+def q_values_from_values(
+    mdp: FiniteMDP,
+    values: Mapping[State, float],
+    *,
+    discount: float = 1.0,
+) -> Dict[Tuple[State, Action], float]:
+    """Back out ``Q(s, a) = E[cost + discount * V(s')]`` from ``V``."""
+    q_values: Dict[Tuple[State, Action], float] = {}
+    for state in mdp.states:
+        for action in mdp.actions(state):
+            total = 0.0
+            for outcome in mdp.outcomes(state, action):
+                total += outcome.probability * (
+                    outcome.cost + discount * values[outcome.next_state]
+                )
+            q_values[(state, action)] = total
+    return q_values
+
+
+def greedy_policy_from_values(
+    mdp: FiniteMDP,
+    values: Mapping[State, float],
+    *,
+    discount: float = 1.0,
+) -> Dict[State, Action]:
+    """The cost-greedy policy induced by ``V`` (ties broken by action repr)."""
+    q_values = q_values_from_values(mdp, values, discount=discount)
+    policy: Dict[State, Action] = {}
+    for state in mdp.states:
+        actions = mdp.actions(state)
+        policy[state] = min(
+            actions, key=lambda a: (q_values[(state, a)], repr(a))
+        )
+    return policy

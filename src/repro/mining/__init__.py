@@ -1,0 +1,25 @@
+"""Symptom mining: mutually dependent patterns, clustering, noise filtering.
+
+Section 3.1 of the paper mines the recovery log with the **m-pattern**
+algorithm (Ma & Hellerstein, 2002) to find infrequent but highly
+correlated symptom sets, observes that the log decomposes into cohesive,
+nearly disjoint symptom clusters (Figure 3), and filters the small
+fraction of "noisy" processes whose symptoms span more than one cluster
+(~3.33% of the real log) before training.
+"""
+
+from repro.mining.dependence import SymptomCooccurrence
+from repro.mining.mpattern import is_m_pattern, maximal_patterns, mine_m_patterns
+from repro.mining.clustering import SymptomClustering, coverage_curve
+from repro.mining.noise import NoiseFilterResult, filter_noise
+
+__all__ = [
+    "SymptomCooccurrence",
+    "mine_m_patterns",
+    "is_m_pattern",
+    "maximal_patterns",
+    "SymptomClustering",
+    "coverage_curve",
+    "NoiseFilterResult",
+    "filter_noise",
+]

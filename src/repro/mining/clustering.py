@@ -1,0 +1,145 @@
+"""Symptom clustering and the Figure 3 coverage curve.
+
+Clusters are the connected components of the pairwise mutual-dependence
+graph: symptoms are linked when the pair ``{a, b}`` is an m-pattern at
+strength ``minp``.  A recovery process consists "of only highly dependent
+symptoms" when its distinct symptom set lies inside a single cluster;
+Figure 3 plots the fraction of such processes against ``minp``, and the
+paper observes the log is mainly made up of cohesive symptom sets sharing
+few intersections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import MiningError
+from repro.mining.dependence import SymptomCooccurrence
+from repro.recoverylog.process import RecoveryProcess
+from repro.util.validation import check_probability
+
+__all__ = ["SymptomClustering", "coverage_curve"]
+
+Cluster = FrozenSet[str]
+
+
+class SymptomClustering:
+    """Symptom clusters at a given dependence strength.
+
+    Parameters
+    ----------
+    cooccurrence:
+        Pre-computed symptom co-occurrence counts.
+    minp:
+        Mutual-dependence threshold used for linking symptoms.
+    """
+
+    def __init__(self, cooccurrence: SymptomCooccurrence, minp: float) -> None:
+        check_probability("minp", minp)
+        if minp == 0:
+            raise MiningError("minp must be > 0")
+        self._minp = minp
+        self._cooccurrence = cooccurrence
+        self._cluster_of: Dict[str, int] = {}
+        self._clusters: List[Cluster] = []
+        self._build()
+
+    @classmethod
+    def from_processes(
+        cls, processes: Sequence[RecoveryProcess], minp: float
+    ) -> "SymptomClustering":
+        """Build the clustering from recovery processes."""
+        cooccurrence = SymptomCooccurrence.from_transactions(
+            p.symptom_set for p in processes
+        )
+        return cls(cooccurrence, minp)
+
+    def _build(self) -> None:
+        # Union-find over symptoms, linking mutually dependent pairs.
+        parent: Dict[str, str] = {s: s for s in self._cooccurrence.items}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for a, b in self._cooccurrence.dependent_pairs(self._minp):
+            root_a, root_b = find(a), find(b)
+            if root_a != root_b:
+                parent[root_a] = root_b
+
+        groups: Dict[str, List[str]] = {}
+        for symptom in parent:
+            groups.setdefault(find(symptom), []).append(symptom)
+        self._clusters = sorted(
+            (frozenset(members) for members in groups.values()),
+            key=lambda c: (-len(c), sorted(c)),
+        )
+        for index, cluster in enumerate(self._clusters):
+            for symptom in cluster:
+                self._cluster_of[symptom] = index
+
+    # ------------------------------------------------------------------
+    @property
+    def minp(self) -> float:
+        return self._minp
+
+    @property
+    def clusters(self) -> Tuple[Cluster, ...]:
+        """All clusters, largest first."""
+        return tuple(self._clusters)
+
+    def cluster_count(self) -> int:
+        """Number of clusters (the paper reports 119 at minp = 0.1)."""
+        return len(self._clusters)
+
+    def cluster_of(self, symptom: str) -> Optional[int]:
+        """Index of the cluster containing ``symptom``, if known."""
+        return self._cluster_of.get(symptom)
+
+    def is_cohesive(self, symptoms: Iterable[str]) -> bool:
+        """Whether all ``symptoms`` fall inside one cluster.
+
+        Unknown symptoms (never seen when counting) make a set
+        non-cohesive: they cannot be attributed to any mined cluster.
+        """
+        indices = set()
+        for symptom in symptoms:
+            index = self._cluster_of.get(symptom)
+            if index is None:
+                return False
+            indices.add(index)
+            if len(indices) > 1:
+                return False
+        return bool(indices)
+
+    def covers(self, process: RecoveryProcess) -> bool:
+        """Whether the process has only highly dependent symptoms."""
+        return self.is_cohesive(process.symptom_set)
+
+    def coverage(self, processes: Sequence[RecoveryProcess]) -> float:
+        """Fraction of ``processes`` covered by a single cluster."""
+        if not processes:
+            return 1.0
+        covered = sum(1 for p in processes if self.covers(p))
+        return covered / len(processes)
+
+
+def coverage_curve(
+    processes: Sequence[RecoveryProcess],
+    minps: Iterable[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+) -> Dict[float, float]:
+    """Figure 3: coverage of single-cluster processes for each ``minp``.
+
+    The co-occurrence counts are computed once and reused across
+    thresholds.
+    """
+    cooccurrence = SymptomCooccurrence.from_transactions(
+        p.symptom_set for p in processes
+    )
+    curve: Dict[float, float] = {}
+    for minp in minps:
+        clustering = SymptomClustering(cooccurrence, minp)
+        curve[minp] = clustering.coverage(processes)
+    return curve

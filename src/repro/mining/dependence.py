@@ -1,0 +1,107 @@
+"""Symptom co-occurrence counting and pairwise mutual dependence.
+
+The dependence of a symptom set ``P`` with respect to a member symptom
+``i`` is ``count(all of P co-occur) / count(i occurs)`` — the ratio the
+paper uses to call symptoms "highly related".  A set is *mutually
+dependent* at strength ``minp`` when the ratio is at least ``minp`` for
+every member.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.errors import MiningError
+
+__all__ = ["SymptomCooccurrence"]
+
+Transaction = FrozenSet[str]
+
+
+class SymptomCooccurrence:
+    """Occurrence and pairwise co-occurrence counts over transactions.
+
+    A *transaction* is one recovery process's distinct symptom set.
+
+    Example::
+
+        cooc = SymptomCooccurrence.from_transactions(sets)
+        cooc.pair_dependence("error:A", "warn:B")
+    """
+
+    def __init__(
+        self,
+        transaction_count: int,
+        item_counts: Dict[str, int],
+        pair_counts: Dict[Tuple[str, str], int],
+    ) -> None:
+        self._transaction_count = transaction_count
+        self._item_counts = item_counts
+        self._pair_counts = pair_counts
+
+    @classmethod
+    def from_transactions(
+        cls, transactions: Iterable[Transaction]
+    ) -> "SymptomCooccurrence":
+        """Count items and pairs across ``transactions``."""
+        item_counts: Counter = Counter()
+        pair_counts: Counter = Counter()
+        count = 0
+        for transaction in transactions:
+            count += 1
+            items = sorted(transaction)
+            item_counts.update(items)
+            for i, a in enumerate(items):
+                for b in items[i + 1:]:
+                    pair_counts[(a, b)] += 1
+        return cls(count, dict(item_counts), dict(pair_counts))
+
+    @property
+    def transaction_count(self) -> int:
+        """Number of transactions counted."""
+        return self._transaction_count
+
+    @property
+    def items(self) -> Tuple[str, ...]:
+        """All observed symptoms, sorted."""
+        return tuple(sorted(self._item_counts))
+
+    def count(self, item: str) -> int:
+        """How many transactions contain ``item``."""
+        return self._item_counts.get(item, 0)
+
+    def pair_count(self, a: str, b: str) -> int:
+        """How many transactions contain both ``a`` and ``b``."""
+        if a == b:
+            return self.count(a)
+        key = (a, b) if a < b else (b, a)
+        return self._pair_counts.get(key, 0)
+
+    def support(self, item: str) -> float:
+        """Fraction of transactions containing ``item``."""
+        if self._transaction_count == 0:
+            return 0.0
+        return self.count(item) / self._transaction_count
+
+    def dependence_given(self, item: str, other: str) -> float:
+        """``P(item and other co-occur | item occurs)``."""
+        denominator = self.count(item)
+        if denominator == 0:
+            raise MiningError(f"symptom {item!r} never occurs")
+        return self.pair_count(item, other) / denominator
+
+    def pair_dependence(self, a: str, b: str) -> float:
+        """Mutual dependence of the pair: the minimum of both ratios."""
+        return min(self.dependence_given(a, b), self.dependence_given(b, a))
+
+    def dependent_pairs(self, minp: float) -> List[Tuple[str, str]]:
+        """All pairs whose mutual dependence is at least ``minp``."""
+        pairs = []
+        for (a, b), both in self._pair_counts.items():
+            if both == 0:
+                continue
+            ratio = min(both / self._item_counts[a], both / self._item_counts[b])
+            if ratio >= minp:
+                pairs.append((a, b))
+        return pairs

@@ -1,0 +1,47 @@
+"""Recovery policies: state-action rules that schedule repair actions.
+
+* :class:`UserDefinedPolicy` — the escalating cheapest-action-first rule
+  the paper's production cluster ran (Section 4.1).
+* :class:`TrainedPolicy` — greedy over a learned Q-function; raises
+  :class:`~repro.errors.UnhandledStateError` on states never explored.
+* :class:`HybridPolicy` — the trained policy with automatic fallback to
+  the user-defined one (Section 3.4).
+* static baselines for ablations (always cheapest, always strongest,
+  uniformly random, fixed sequence).
+"""
+
+from repro.policies.base import Policy, PolicyDecision
+from repro.policies.user_defined import UserDefinedPolicy
+from repro.policies.static import (
+    AlwaysCheapestPolicy,
+    AlwaysStrongestPolicy,
+    FixedSequencePolicy,
+    RandomPolicy,
+)
+from repro.policies.trained import TrainedPolicy
+from repro.policies.hybrid import HybridPolicy
+from repro.policies.serialization import (
+    load_policy,
+    load_qtable,
+    save_policy,
+    save_qtable,
+)
+from repro.policies.index_policy import action_indices, design_index_policy
+
+__all__ = [
+    "save_policy",
+    "load_policy",
+    "save_qtable",
+    "load_qtable",
+    "action_indices",
+    "design_index_policy",
+    "Policy",
+    "PolicyDecision",
+    "UserDefinedPolicy",
+    "TrainedPolicy",
+    "HybridPolicy",
+    "AlwaysCheapestPolicy",
+    "AlwaysStrongestPolicy",
+    "RandomPolicy",
+    "FixedSequencePolicy",
+]

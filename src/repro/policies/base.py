@@ -1,0 +1,66 @@
+"""The policy interface.
+
+A policy maps a :class:`~repro.mdp.state.RecoveryState` to the name of the
+next repair action.  Policies are *stateless*: everything they need is in
+the state (error type plus action history), which is what makes the
+recovery process Markov.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mdp.state import RecoveryState
+
+__all__ = ["Policy", "PolicyDecision"]
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """A policy's choice plus provenance, for auditing and the hybrid rule.
+
+    Attributes
+    ----------
+    action:
+        The chosen repair-action name.
+    source:
+        Which policy component produced the decision (e.g. ``"trained"``
+        or ``"user-defined"`` inside a hybrid policy).
+    expected_cost:
+        The policy's own estimate of remaining cost, when it has one.
+    """
+
+    action: str
+    source: str
+    expected_cost: Optional[float] = None
+
+
+class Policy(abc.ABC):
+    """Abstract recovery policy."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short identifier used in reports."""
+
+    @abc.abstractmethod
+    def decide(self, state: RecoveryState) -> PolicyDecision:
+        """Choose the next repair action for ``state``.
+
+        Raises
+        ------
+        UnhandledStateError
+            If the policy has no rule for this state (the paper's "noisy"
+            cases for a pure RL-trained policy).
+        ConfigurationError
+            If ``state`` is terminal.
+        """
+
+    def action_for(self, state: RecoveryState) -> str:
+        """Convenience: the chosen action name only."""
+        return self.decide(state).action
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

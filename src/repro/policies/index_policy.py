@@ -1,0 +1,108 @@
+"""Data-driven initial-policy design (the paper's future-work item 3).
+
+Section 7 suggests "designing initial policies that can be improved".
+This module derives one directly from log statistics, without any RL:
+for each error type, estimate every action's one-shot cure probability
+``p(a)`` (the fraction of the type's recovery processes a single
+execution of ``a`` would cure, under the replay hypotheses) and its mean
+cost ``c(a)``, then try actions in ascending ``c(a) / p(a)`` order — the
+classic index rule that minimizes expected total cost for a sequence of
+independent attempts.  The result is a sensible starting point the
+Q-learning pipeline can then refine (the index rule ignores multiplicity
+requirements and post-failure belief updates, which the MDP machinery
+captures).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.actions.action import ActionCatalog
+from repro.errors import EvaluationError
+from repro.mdp.state import RecoveryState
+from repro.policies.trained import TrainedPolicy
+from repro.recoverylog.process import RecoveryProcess
+from repro.simplatform.coststats import CostStatistics
+from repro.simplatform.hypotheses import covers, required_strengths
+
+__all__ = ["action_indices", "design_index_policy"]
+
+
+def action_indices(
+    error_type: str,
+    processes: Sequence[RecoveryProcess],
+    catalog: ActionCatalog,
+    stats: Optional[CostStatistics] = None,
+) -> Dict[str, Tuple[float, float, float]]:
+    """Per-action ``(cure probability, mean cost, index)`` for one type.
+
+    The index is ``cost / probability`` (infinite for actions that never
+    cure); lower is better.
+    """
+    if not processes:
+        raise EvaluationError(
+            f"no processes to design a policy for {error_type!r}"
+        )
+    if stats is None:
+        stats = CostStatistics.from_processes(processes, catalog)
+    required = [required_strengths(p, catalog) for p in processes]
+    table: Dict[str, Tuple[float, float, float]] = {}
+    for action in catalog:
+        cured = sum(1 for r in required if covers(r, [action.strength]))
+        probability = cured / len(required)
+        # Expected attempt cost: cure and failure branches weighted.
+        cost = probability * stats.success_cost(
+            error_type, action.name
+        ) + (1 - probability) * stats.failure_cost(error_type, action.name)
+        index = cost / probability if probability > 0 else float("inf")
+        table[action.name] = (probability, cost, index)
+    return table
+
+
+def design_index_policy(
+    processes_by_type: Mapping[str, Sequence[RecoveryProcess]],
+    catalog: ActionCatalog,
+    stats: Optional[CostStatistics] = None,
+    *,
+    max_actions: int = 20,
+    label: str = "index-designed",
+) -> TrainedPolicy:
+    """Build the index-ordered policy for every error type.
+
+    For each type, actions are sorted by ascending ``cost/probability``
+    (the manual action, curing with probability 1, closes every
+    sequence), and the chain is unrolled into state-action rules down to
+    the episode cap so the policy is usable wherever a trained policy
+    is.
+    """
+    rules: Dict[RecoveryState, Tuple[str, float]] = {}
+    for error_type, processes in processes_by_type.items():
+        if not processes:
+            continue
+        indices = action_indices(error_type, processes, catalog, stats)
+        ordered: List[str] = sorted(
+            (name for name in catalog.names()),
+            key=lambda name: (indices[name][2], catalog[name].strength),
+        )
+        # Drop hopeless actions (index infinity) except the closing
+        # manual repair, and never weaken mid-chain.
+        chain: List[str] = []
+        floor = -1
+        for name in ordered:
+            if indices[name][2] == float("inf") and not catalog[name].manual:
+                continue
+            if catalog[name].strength < floor:
+                continue
+            chain.append(name)
+            floor = catalog[name].strength
+            if catalog[name].manual:
+                break
+        if not chain or not catalog[chain[-1]].manual:
+            chain.append(catalog.strongest.name)
+
+        state = RecoveryState.initial(error_type)
+        for depth in range(max_actions - 1):
+            action_name = chain[min(depth, len(chain) - 1)]
+            rules[state] = (action_name, indices[action_name][1])
+            state = state.after(action_name, healthy=False)
+    return TrainedPolicy(rules, label=label)

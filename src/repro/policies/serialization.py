@@ -1,0 +1,165 @@
+"""Persistence of trained policies and Q-tables.
+
+A deployed recovery framework trains offline and ships the generated
+rules to the online recovery component (Figure 1's dashed arrow), so the
+rule tables must round-trip through storage.  The JSON schema is stable
+and human-auditable — operators can review exactly which action the
+policy will take in which state before deploying it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+from repro.errors import LogFormatError
+from repro.learning.qtable import QTable
+from repro.mdp.state import RecoveryState
+from repro.policies.trained import TrainedPolicy
+
+__all__ = [
+    "save_policy",
+    "load_policy",
+    "save_qtable",
+    "load_qtable",
+]
+
+PathLike = Union[str, Path]
+
+_POLICY_FORMAT = "repro/trained-policy@1"
+_QTABLE_FORMAT = "repro/qtable@1"
+
+
+def _state_to_record(state: RecoveryState) -> Dict[str, object]:
+    return {
+        "error_type": state.error_type,
+        "tried": list(state.tried),
+    }
+
+
+def _state_from_record(record: Dict[str, object]) -> RecoveryState:
+    try:
+        return RecoveryState(
+            error_type=str(record["error_type"]),
+            healthy=False,
+            tried=tuple(str(a) for a in record["tried"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise LogFormatError(f"bad state record {record!r}: {exc}") from None
+
+
+def save_policy(policy: TrainedPolicy, path: PathLike) -> int:
+    """Write a trained policy's rules as JSON; returns the rule count."""
+    rules = []
+    for state, (action, cost) in sorted(
+        policy.rules.items(),
+        key=lambda item: (item[0].error_type, item[0].tried),
+    ):
+        record = _state_to_record(state)
+        record["action"] = action
+        record["expected_cost"] = cost
+        rules.append(record)
+    payload = {
+        "format": _POLICY_FORMAT,
+        "label": policy.name,
+        "rules": rules,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return len(rules)
+
+
+def load_policy(path: PathLike) -> TrainedPolicy:
+    """Read a trained policy saved by :func:`save_policy`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise LogFormatError(f"{path}: bad JSON: {exc}") from None
+    if payload.get("format") != _POLICY_FORMAT:
+        raise LogFormatError(
+            f"{path}: expected format {_POLICY_FORMAT!r}, "
+            f"got {payload.get('format')!r}"
+        )
+    rules: Dict[RecoveryState, Tuple[str, float]] = {}
+    for record in payload.get("rules", []):
+        state = _state_from_record(record)
+        try:
+            rules[state] = (
+                str(record["action"]),
+                float(record["expected_cost"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LogFormatError(
+                f"{path}: bad rule record {record!r}: {exc}"
+            ) from None
+    return TrainedPolicy(rules, label=str(payload.get("label", "trained")))
+
+
+def save_qtable(qtable: QTable, path: PathLike) -> int:
+    """Write a Q-table (values and visit counts) as JSON.
+
+    Returns the number of (state, action) pairs written.  Persisting the
+    visit counts preserves the equation-(6) learning-rate schedule, so a
+    reloaded table can continue training where it left off.
+    """
+    entries = []
+    for state in sorted(
+        qtable.states(), key=lambda s: (s.error_type, s.tried)
+    ):
+        for action in qtable.action_names:
+            visits = qtable.visit_count(state, action)
+            if visits == 0:
+                continue
+            record = _state_to_record(state)
+            record["action"] = action
+            record["value"] = qtable.value(state, action)
+            record["visits"] = visits
+            entries.append(record)
+    payload = {
+        "format": _QTABLE_FORMAT,
+        "actions": list(qtable.action_names),
+        "initial_value": qtable.initial_value,
+        "entries": entries,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return len(entries)
+
+
+def load_qtable(path: PathLike, *, alpha_floor: float = 0.0) -> QTable:
+    """Read a Q-table saved by :func:`save_qtable`.
+
+    Values and visit counts are restored exactly; ``alpha_floor`` is a
+    training-time knob and is supplied by the caller.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise LogFormatError(f"{path}: bad JSON: {exc}") from None
+    if payload.get("format") != _QTABLE_FORMAT:
+        raise LogFormatError(
+            f"{path}: expected format {_QTABLE_FORMAT!r}, "
+            f"got {payload.get('format')!r}"
+        )
+    qtable = QTable(
+        [str(a) for a in payload["actions"]],
+        initial_value=float(payload.get("initial_value", 0.0)),
+        alpha_floor=alpha_floor,
+    )
+    for record in payload.get("entries", []):
+        state = _state_from_record(record)
+        try:
+            action = str(record["action"])
+            value = float(record["value"])
+            visits = int(record["visits"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LogFormatError(
+                f"{path}: bad entry record {record!r}: {exc}"
+            ) from None
+        qtable.restore(state, action, value, visits)
+    return qtable

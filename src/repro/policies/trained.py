@@ -1,0 +1,91 @@
+"""The RL-trained recovery policy.
+
+A trained policy is a table of state-action *rules* extracted from a
+learned Q-function (greedy extraction or the Section 5.3 selection tree).
+Each rule carries the expected remaining recovery cost its Q value
+predicted.  States absent from the table — the paper's "noisy" cases that
+never appeared during training — raise
+:class:`~repro.errors.UnhandledStateError`; the hybrid policy exists to
+catch exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError, UnhandledStateError
+from repro.mdp.state import RecoveryState
+from repro.policies.base import Policy, PolicyDecision
+
+__all__ = ["TrainedPolicy"]
+
+Rule = Tuple[str, float]
+"""``(action name, expected remaining cost)``."""
+
+
+class TrainedPolicy(Policy):
+    """Greedy policy over extracted state-action rules.
+
+    Parameters
+    ----------
+    rules:
+        ``{state: (action, expected cost)}``.  Terminal states must not
+        appear.
+    label:
+        Report name; defaults to ``"trained"``.
+    """
+
+    def __init__(
+        self,
+        rules: Mapping[RecoveryState, Rule],
+        label: str = "trained",
+    ) -> None:
+        for state, (action, _cost) in rules.items():
+            if state.is_terminal:
+                raise ConfigurationError(
+                    f"rule given for terminal state {state}"
+                )
+            if not action:
+                raise ConfigurationError(f"empty action in rule for {state}")
+        self._rules: Dict[RecoveryState, Rule] = dict(rules)
+        self._label = label
+
+    @property
+    def name(self) -> str:
+        return self._label
+
+    @property
+    def rules(self) -> Mapping[RecoveryState, Rule]:
+        """The underlying rule table (read-only view semantics)."""
+        return dict(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def handles(self, state: RecoveryState) -> bool:
+        """Whether a rule exists for ``state``."""
+        return state in self._rules
+
+    def error_types(self) -> Tuple[str, ...]:
+        """Error types for which at least one rule exists."""
+        return tuple(sorted({s.error_type for s in self._rules}))
+
+    def expected_cost(self, state: RecoveryState) -> Optional[float]:
+        """The rule's predicted remaining cost, if the state is handled."""
+        rule = self._rules.get(state)
+        return rule[1] if rule is not None else None
+
+    def decide(self, state: RecoveryState) -> PolicyDecision:
+        if state.is_terminal:
+            raise ConfigurationError(
+                f"cannot decide an action in terminal state {state}"
+            )
+        rule = self._rules.get(state)
+        if rule is None:
+            raise UnhandledStateError(
+                f"no trained rule for state {state}; the pattern did not "
+                "appear in the training log",
+                state=state,
+            )
+        action, cost = rule
+        return PolicyDecision(action=action, source=self.name, expected_cost=cost)

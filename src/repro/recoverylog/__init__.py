@@ -1,0 +1,35 @@
+"""The recovery log: entries, processes, IO and statistics.
+
+A recovery log is the sequence of ``<time, machine, description>`` entries
+the paper's event-monitoring component records (Section 4.1, Table 1).  The
+description is a symptom of an error, a repair action, or a report of a
+successful recovery.  Logs divide into an ensemble of *recovery processes*:
+each starts with the advent of a new error, experiences a series of repair
+actions, and ends with a successful recovery.
+"""
+
+from repro.recoverylog.entry import EntryKind, LogEntry
+from repro.recoverylog.log import RecoveryLog
+from repro.recoverylog.process import RecoveryProcess, SegmentationResult, segment_log
+from repro.recoverylog.io import (
+    read_log_jsonl,
+    read_log_text,
+    write_log_jsonl,
+    write_log_text,
+)
+from repro.recoverylog.stats import LogStatistics, compute_statistics
+
+__all__ = [
+    "EntryKind",
+    "LogEntry",
+    "RecoveryLog",
+    "RecoveryProcess",
+    "SegmentationResult",
+    "segment_log",
+    "read_log_text",
+    "write_log_text",
+    "read_log_jsonl",
+    "write_log_jsonl",
+    "LogStatistics",
+    "compute_statistics",
+]

@@ -1,0 +1,87 @@
+"""A single recovery-log entry.
+
+Entries follow the paper's ``<time, machine name, description>`` format
+(Section 4.1).  The description is one of:
+
+* a *symptom* of an error (e.g. ``error:IFM-ISNWatchdog``),
+* a *repair action* name (e.g. ``REBOOT``), or
+* the literal ``Success`` report of a completed recovery.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LogFormatError
+from repro.util.timefmt import format_wallclock
+
+__all__ = ["EntryKind", "LogEntry", "SUCCESS_DESCRIPTION"]
+
+SUCCESS_DESCRIPTION = "Success"
+
+
+class EntryKind(enum.Enum):
+    """What a log entry's description denotes."""
+
+    SYMPTOM = "symptom"
+    ACTION = "action"
+    SUCCESS = "success"
+
+
+@dataclass(frozen=True, order=True)
+class LogEntry:
+    """One ``<time, machine, description>`` record.
+
+    Ordering is by ``(time, machine, ...)`` so that sorting a list of
+    entries yields global time order with a deterministic tie-break.
+    """
+
+    time: float
+    machine: str
+    kind: EntryKind
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise LogFormatError(f"entry time must be >= 0, got {self.time}")
+        if not self.machine:
+            raise LogFormatError("entry machine must be non-empty")
+        if not self.description:
+            raise LogFormatError("entry description must be non-empty")
+        if self.kind is EntryKind.SUCCESS and self.description != SUCCESS_DESCRIPTION:
+            raise LogFormatError(
+                f"success entries must be described as {SUCCESS_DESCRIPTION!r}, "
+                f"got {self.description!r}"
+            )
+
+    @classmethod
+    def symptom(cls, time: float, machine: str, symptom: str) -> "LogEntry":
+        """Build a symptom entry."""
+        return cls(time, machine, EntryKind.SYMPTOM, symptom)
+
+    @classmethod
+    def action(cls, time: float, machine: str, action_name: str) -> "LogEntry":
+        """Build a repair-action entry."""
+        return cls(time, machine, EntryKind.ACTION, action_name)
+
+    @classmethod
+    def success(cls, time: float, machine: str) -> "LogEntry":
+        """Build a successful-recovery report entry."""
+        return cls(time, machine, EntryKind.SUCCESS, SUCCESS_DESCRIPTION)
+
+    @property
+    def is_symptom(self) -> bool:
+        return self.kind is EntryKind.SYMPTOM
+
+    @property
+    def is_action(self) -> bool:
+        return self.kind is EntryKind.ACTION
+
+    @property
+    def is_success(self) -> bool:
+        return self.kind is EntryKind.SUCCESS
+
+    def render(self) -> str:
+        """Render like the paper's Table 1 row, e.g. ``3:07:12 am  REBOOT``."""
+        return f"{format_wallclock(self.time)}\t{self.description}"

@@ -1,0 +1,141 @@
+"""Serialization of recovery logs.
+
+Two formats are supported:
+
+* **text** — the paper's human-readable ``<time, machine, description>``
+  format, tab-separated, one entry per line.  The entry kind is inferred
+  from the description (the literal ``Success``, a known action name, or
+  otherwise a symptom), exactly the ambiguity a real operations log has.
+* **jsonl** — one JSON object per line with an explicit ``kind`` field;
+  lossless round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Set, Union
+
+from repro.errors import LogFormatError
+from repro.recoverylog.entry import SUCCESS_DESCRIPTION, EntryKind, LogEntry
+from repro.recoverylog.log import RecoveryLog
+
+__all__ = [
+    "write_log_text",
+    "read_log_text",
+    "write_log_jsonl",
+    "read_log_jsonl",
+    "DEFAULT_ACTION_NAMES",
+]
+
+PathLike = Union[str, Path]
+
+DEFAULT_ACTION_NAMES = frozenset({"TRYNOP", "REBOOT", "REIMAGE", "RMA"})
+
+
+def write_log_text(log: Iterable[LogEntry], path: PathLike) -> int:
+    """Write entries as tab-separated ``time  machine  description`` lines.
+
+    Returns the number of entries written.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for entry in log:
+            # repr() keeps full float precision so parsing round-trips.
+            handle.write(
+                f"{entry.time!r}\t{entry.machine}\t{entry.description}\n"
+            )
+            count += 1
+    return count
+
+
+def read_log_text(
+    path: PathLike,
+    *,
+    action_names: Optional[Set[str]] = None,
+) -> RecoveryLog:
+    """Parse a text-format log back into a :class:`RecoveryLog`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    action_names:
+        Descriptions to classify as repair actions.  Defaults to the
+        paper's four actions.
+    """
+    names = DEFAULT_ACTION_NAMES if action_names is None else set(action_names)
+    entries = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise LogFormatError(
+                    f"{path}:{line_no}: expected 3 tab-separated fields, "
+                    f"got {len(parts)}"
+                )
+            time_text, machine, description = parts
+            try:
+                time = float(time_text)
+            except ValueError:
+                raise LogFormatError(
+                    f"{path}:{line_no}: bad timestamp {time_text!r}"
+                ) from None
+            if description == SUCCESS_DESCRIPTION:
+                kind = EntryKind.SUCCESS
+            elif description in names:
+                kind = EntryKind.ACTION
+            else:
+                kind = EntryKind.SYMPTOM
+            entries.append(LogEntry(time, machine, kind, description))
+    return RecoveryLog(entries)
+
+
+def write_log_jsonl(log: Iterable[LogEntry], path: PathLike) -> int:
+    """Write entries as JSON lines with explicit kinds.
+
+    Returns the number of entries written.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for entry in log:
+            record = {
+                "time": entry.time,
+                "machine": entry.machine,
+                "kind": entry.kind.value,
+                "description": entry.description,
+            }
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def read_log_jsonl(path: PathLike) -> RecoveryLog:
+    """Parse a JSONL-format log back into a :class:`RecoveryLog`."""
+    entries = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise LogFormatError(f"{path}:{line_no}: bad JSON: {exc}") from None
+            try:
+                entries.append(
+                    LogEntry(
+                        time=float(record["time"]),
+                        machine=str(record["machine"]),
+                        kind=EntryKind(record["kind"]),
+                        description=str(record["description"]),
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise LogFormatError(
+                    f"{path}:{line_no}: bad record {record!r}: {exc}"
+                ) from None
+    return RecoveryLog(entries)

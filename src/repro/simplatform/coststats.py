@@ -1,0 +1,159 @@
+"""Per-(error type, action) cost statistics from the recovery log.
+
+When replay proposes an action that does not match the logged one, its
+cost must be estimated.  Section 3.3: "one of the following values will be
+chosen: actual time cost in the recovery process, average success time
+cost, or average failing time cost."  This module computes those averages,
+with fallbacks from (type, action) to action-global to the action's
+nominal cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.actions.action import ActionCatalog
+from repro.errors import SimulationError
+from repro.recoverylog.process import RecoveryProcess
+
+__all__ = ["CostStatistics"]
+
+
+@dataclass
+class _Accumulator:
+    total: float = 0.0
+    count: int = 0
+
+    def add(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+
+class CostStatistics:
+    """Average action durations and initial delays, by error type.
+
+    Build with :meth:`from_processes`; query with :meth:`success_cost`,
+    :meth:`failure_cost` and :meth:`initial_delay`.
+    """
+
+    def __init__(self, catalog: ActionCatalog, shrinkage: float = 5.0) -> None:
+        if shrinkage < 0:
+            raise SimulationError(
+                f"shrinkage must be >= 0, got {shrinkage}"
+            )
+        self._catalog = catalog
+        self._shrinkage = shrinkage
+        self._success: Dict[Tuple[str, str], _Accumulator] = {}
+        self._failure: Dict[Tuple[str, str], _Accumulator] = {}
+        self._success_global: Dict[str, _Accumulator] = {}
+        self._failure_global: Dict[str, _Accumulator] = {}
+        self._initial: Dict[str, _Accumulator] = {}
+        self._initial_global = _Accumulator()
+
+    @classmethod
+    def from_processes(
+        cls,
+        processes: Sequence[RecoveryProcess],
+        catalog: ActionCatalog,
+        *,
+        shrinkage: float = 5.0,
+    ) -> "CostStatistics":
+        """Accumulate duration statistics from ``processes``.
+
+        ``shrinkage`` blends sparse per-(type, action) means toward the
+        action's global mean with the weight of that many pseudo-counts
+        (empirical-Bayes style), which stabilizes estimates for rare
+        types without biasing well-observed ones.
+        """
+        stats = cls(catalog, shrinkage=shrinkage)
+        for process in processes:
+            error_type = process.error_type
+            attempts = process.attempts
+            if attempts:
+                stats._initial.setdefault(error_type, _Accumulator()).add(
+                    attempts[0].start_time - process.start_time
+                )
+                stats._initial_global.add(
+                    attempts[0].start_time - process.start_time
+                )
+            for attempt in attempts:
+                key = (error_type, attempt.action)
+                if attempt.succeeded:
+                    stats._success.setdefault(key, _Accumulator()).add(
+                        attempt.duration
+                    )
+                    stats._success_global.setdefault(
+                        attempt.action, _Accumulator()
+                    ).add(attempt.duration)
+                else:
+                    stats._failure.setdefault(key, _Accumulator()).add(
+                        attempt.duration
+                    )
+                    stats._failure_global.setdefault(
+                        attempt.action, _Accumulator()
+                    ).add(attempt.duration)
+        return stats
+
+    # ------------------------------------------------------------------
+    def _nominal(self, action_name: str) -> float:
+        return self._catalog[action_name].cost_model.mean
+
+    def _estimate(
+        self,
+        local: Optional[_Accumulator],
+        global_acc: Optional[_Accumulator],
+        action_name: str,
+    ) -> float:
+        """Shrunken local mean, falling back to global, then nominal."""
+        global_mean = (
+            global_acc.mean
+            if global_acc is not None and global_acc.mean is not None
+            else self._nominal(action_name)
+        )
+        if local is None or local.count == 0:
+            return global_mean
+        weight = local.count / (local.count + self._shrinkage)
+        return weight * (local.total / local.count) + (1 - weight) * global_mean
+
+    def success_cost(self, error_type: str, action_name: str) -> float:
+        """Mean duration of a *curing* execution of the action.
+
+        The per-(type, action) mean is shrunk toward the action's global
+        mean; the final fallback is the action's nominal cost model.
+        """
+        return self._estimate(
+            self._success.get((error_type, action_name)),
+            self._success_global.get(action_name),
+            action_name,
+        )
+
+    def failure_cost(self, error_type: str, action_name: str) -> float:
+        """Mean duration of a *failed* execution (including observation).
+
+        Same shrinkage and fallback chain as :meth:`success_cost`.
+        """
+        return self._estimate(
+            self._failure.get((error_type, action_name)),
+            self._failure_global.get(action_name),
+            action_name,
+        )
+
+    def initial_delay(self, error_type: str) -> float:
+        """Mean seconds from first symptom to first repair action."""
+        local = self._initial.get(error_type)
+        if local is not None and local.mean is not None:
+            return local.mean
+        if self._initial_global.mean is not None:
+            return self._initial_global.mean
+        return 0.0
+
+    def observed_pairs(self) -> Tuple[Tuple[str, str], ...]:
+        """All (error type, action) pairs with any observation."""
+        return tuple(sorted(set(self._success) | set(self._failure)))

@@ -1,0 +1,104 @@
+"""The required-action semantics of the replay hypotheses (Section 3.3).
+
+**Required actions.**  For a successful recovery process the paper deems
+"correct" the last repair action and the stronger actions executed during
+the process.  We refine this with a multiplicity rule: every logged
+occurrence of an action at least as strong as the final (curing) action is
+required.  The refinement is what makes replay *self-consistent*: replaying
+the process's own action sequence succeeds exactly at its last action and
+never earlier (a plain last-action rule would let the replay of
+``TRYNOP, REBOOT, REBOOT`` finish after the first REBOOT, contradicting the
+log that shows that REBOOT failing).  It is also conservative, which the
+paper's Figure 7 explicitly aims for.
+
+**Coverage.**  A proposed multiset of executed actions cures the process
+when it covers the required multiset under hypothesis 2: each required
+occurrence must be matched by a distinct executed action of at least its
+strength (greedy strongest-to-strongest matching, which is optimal for
+interval-free threshold matching).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.actions.action import ActionCatalog
+from repro.recoverylog.process import RecoveryProcess
+
+__all__ = ["required_actions", "covers", "required_strengths"]
+
+
+def required_actions(
+    process: RecoveryProcess,
+    catalog: ActionCatalog,
+    *,
+    last_action_only: bool = False,
+) -> Tuple[str, ...]:
+    """The required repair-action occurrences of a recovery process.
+
+    Parameters
+    ----------
+    process:
+        A completed recovery process.
+    catalog:
+        Action catalog defining the strength order.
+    last_action_only:
+        Ablation flag: use the naive "the last action is the only correct
+        one" rule the paper argues against.
+
+    Returns the required occurrences in log order (possibly with
+    repeats).  A process with no repair actions (self-healed) requires
+    nothing.
+    """
+    actions = process.actions
+    if not actions:
+        return ()
+    last = actions[-1]
+    if last_action_only:
+        return (last,)
+    last_strength = catalog[last].strength
+    return tuple(
+        name for name in actions if catalog[name].strength >= last_strength
+    )
+
+
+def required_strengths(
+    process: RecoveryProcess,
+    catalog: ActionCatalog,
+    *,
+    last_action_only: bool = False,
+) -> Tuple[int, ...]:
+    """Strengths of :func:`required_actions`, descending."""
+    return tuple(
+        sorted(
+            (
+                catalog[name].strength
+                for name in required_actions(
+                    process, catalog, last_action_only=last_action_only
+                )
+            ),
+            reverse=True,
+        )
+    )
+
+
+def covers(
+    required: Sequence[int],
+    executed: Iterable[int],
+    ) -> bool:
+    """Whether executed action strengths cover the required ones.
+
+    ``required`` and ``executed`` are strength multisets.  Each required
+    occurrence must be matched by a distinct executed action of at least
+    its strength.  Matching the strongest requirement with the strongest
+    available executed action is optimal, so a greedy two-pointer pass
+    decides coverage exactly.
+    """
+    required_sorted = sorted(required, reverse=True)
+    executed_sorted = sorted(executed, reverse=True)
+    if len(executed_sorted) < len(required_sorted):
+        return False
+    for need, have in zip(required_sorted, executed_sorted):
+        if have < need:
+            return False
+    return True

@@ -1,0 +1,275 @@
+"""The simulation platform: counterfactual replay of recovery processes.
+
+:meth:`SimulationPlatform.step` answers "what happens if action ``a`` is
+executed in state ``s`` while replaying process ``p``": success is decided
+by the required-action hypotheses
+(:mod:`repro.simplatform.hypotheses`), and the time cost is the actual
+logged duration when the proposal matches the log at that position, or the
+learned average otherwise.  :meth:`replay` drives a full policy through a
+process, enforcing the paper's ``N``-action cap by forcing the manual
+repair on the final slot.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.actions.action import ActionCatalog
+from repro.errors import (
+    ConfigurationError,
+    SimulationError,
+    UnhandledStateError,
+)
+from repro.mdp.state import RecoveryState
+from repro.policies.base import Policy
+from repro.recoverylog.process import RecoveryProcess
+from repro.simplatform.coststats import CostStatistics
+from repro.simplatform.hypotheses import covers, required_strengths
+
+__all__ = ["CostMode", "StepOutcome", "ReplayResult", "SimulationPlatform"]
+
+
+class CostMode(enum.Enum):
+    """How step costs are charged.
+
+    ``ACTUAL_WHEN_MATCHING``
+        Use the logged duration whenever the proposed action matches the
+        logged action at the same attempt position (and the outcome
+        matches); otherwise use averages.  Low-variance, used for policy
+        evaluation.
+    ``AVERAGES_ONLY``
+        Always use per-(type, action) average durations.  Used by the
+        Figure 7 platform validation, where the interesting question is
+        whether average-based costing reproduces real downtime.
+    """
+
+    ACTUAL_WHEN_MATCHING = "actual-when-matching"
+    AVERAGES_ONLY = "averages-only"
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """Result of executing one action during replay.
+
+    Attributes
+    ----------
+    cost:
+        Seconds charged for the attempt (execution plus observation).
+    next_state:
+        The successor recovery state.
+    succeeded:
+        Whether the action cured the process.
+    matched_log:
+        Whether the proposal coincided with the logged action at this
+        position (and thus was charged its actual duration in
+        ``ACTUAL_WHEN_MATCHING`` mode).
+    """
+
+    cost: float
+    next_state: RecoveryState
+    succeeded: bool
+    matched_log: bool
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Result of replaying a whole process under a policy.
+
+    Attributes
+    ----------
+    handled:
+        False when the policy raised
+        :class:`~repro.errors.UnhandledStateError` mid-replay (the
+        paper's unhandled cases, excluded from Figure 9's totals and
+        counted against Figure 10's coverage).
+    cost:
+        Estimated downtime of the replayed recovery (initial delay plus
+        attempt costs); meaningless when ``handled`` is False.
+    actions:
+        The action sequence the policy executed.
+    real_cost:
+        The process's actual logged downtime, for relative-cost ratios.
+    forced_manual:
+        Whether the ``N``-action cap forced the final manual repair.
+    """
+
+    handled: bool
+    cost: float
+    actions: Tuple[str, ...]
+    real_cost: float
+    forced_manual: bool = False
+
+
+class SimulationPlatform:
+    """Counterfactual replay over an ensemble of recovery processes.
+
+    Parameters
+    ----------
+    processes:
+        The processes available for replay (typically a train or test
+        split).
+    catalog:
+        Repair-action catalog.
+    stats:
+        Cost statistics; defaults to statistics over ``processes``.
+        Pass statistics built from a larger log when available.
+    cost_mode:
+        See :class:`CostMode`.
+    last_action_only:
+        Ablation: use the naive required-action rule (see
+        :func:`repro.simplatform.hypotheses.required_actions`).
+    max_actions:
+        The paper's ``N`` = 20 cap per recovery process.
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[RecoveryProcess],
+        catalog: ActionCatalog,
+        stats: Optional[CostStatistics] = None,
+        *,
+        cost_mode: CostMode = CostMode.ACTUAL_WHEN_MATCHING,
+        last_action_only: bool = False,
+        max_actions: int = 20,
+    ) -> None:
+        if max_actions < 2:
+            raise ConfigurationError(
+                f"max_actions must be >= 2, got {max_actions}"
+            )
+        self._processes = tuple(processes)
+        self._catalog = catalog
+        self._stats = (
+            stats
+            if stats is not None
+            else CostStatistics.from_processes(processes, catalog)
+        )
+        self._cost_mode = cost_mode
+        self._last_action_only = last_action_only
+        self._max_actions = max_actions
+        # Required strengths are replay-invariant; cache per process id.
+        self._required_cache: Dict[int, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def processes(self) -> Tuple[RecoveryProcess, ...]:
+        return self._processes
+
+    @property
+    def catalog(self) -> ActionCatalog:
+        return self._catalog
+
+    @property
+    def stats(self) -> CostStatistics:
+        return self._stats
+
+    @property
+    def max_actions(self) -> int:
+        return self._max_actions
+
+    def _required(self, process: RecoveryProcess) -> Tuple[int, ...]:
+        key = id(process)
+        cached = self._required_cache.get(key)
+        if cached is None:
+            cached = required_strengths(
+                process, self._catalog, last_action_only=self._last_action_only
+            )
+            self._required_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def initial_cost(self, process: RecoveryProcess) -> float:
+        """Detection segment: first symptom to first repair action."""
+        attempts = process.attempts
+        if not attempts:
+            return process.downtime
+        if self._cost_mode is CostMode.ACTUAL_WHEN_MATCHING:
+            return attempts[0].start_time - process.start_time
+        return self._stats.initial_delay(process.error_type)
+
+    def step(
+        self,
+        process: RecoveryProcess,
+        state: RecoveryState,
+        action_name: str,
+    ) -> StepOutcome:
+        """Execute ``action_name`` in ``state`` while replaying ``process``."""
+        if state.is_terminal:
+            raise SimulationError(
+                f"cannot step from terminal state {state}"
+            )
+        if state.error_type != process.error_type:
+            raise SimulationError(
+                f"state error type {state.error_type!r} does not match "
+                f"process error type {process.error_type!r}"
+            )
+        action = self._catalog[action_name]
+        executed = [self._catalog[name].strength for name in state.tried]
+        executed.append(action.strength)
+        succeeded = covers(self._required(process), executed)
+
+        position = state.attempt_count
+        attempts = process.attempts
+        matched = (
+            position < len(attempts)
+            and attempts[position].action == action_name
+            and attempts[position].succeeded == succeeded
+        )
+        if matched and self._cost_mode is CostMode.ACTUAL_WHEN_MATCHING:
+            cost = attempts[position].duration
+        elif succeeded:
+            cost = self._stats.success_cost(process.error_type, action_name)
+        else:
+            cost = self._stats.failure_cost(process.error_type, action_name)
+        return StepOutcome(
+            cost=cost,
+            next_state=state.after(action_name, succeeded),
+            succeeded=succeeded,
+            matched_log=matched,
+        )
+
+    def replay(
+        self,
+        process: RecoveryProcess,
+        policy: Policy,
+    ) -> ReplayResult:
+        """Drive ``policy`` through ``process`` until cured or unhandled."""
+        attempts = process.attempts
+        if not attempts:
+            # Self-healed process: nothing to decide; charge real downtime.
+            return ReplayResult(
+                handled=True,
+                cost=process.downtime,
+                actions=(),
+                real_cost=process.downtime,
+            )
+        state = RecoveryState.initial(process.error_type)
+        total = self.initial_cost(process)
+        actions = []
+        forced_manual = False
+        while not state.is_terminal:
+            if state.attempt_count >= self._max_actions - 1:
+                action_name = self._catalog.strongest.name
+                forced_manual = True
+            else:
+                try:
+                    action_name = policy.decide(state).action
+                except UnhandledStateError:
+                    return ReplayResult(
+                        handled=False,
+                        cost=float("nan"),
+                        actions=tuple(actions),
+                        real_cost=process.downtime,
+                    )
+            outcome = self.step(process, state, action_name)
+            actions.append(action_name)
+            total += outcome.cost
+            state = outcome.next_state
+        return ReplayResult(
+            handled=True,
+            cost=total,
+            actions=tuple(actions),
+            real_cost=process.downtime,
+            forced_manual=forced_manual,
+        )

@@ -1,0 +1,84 @@
+"""Trace workload configurations.
+
+Bundles the cluster parameters and fault-catalog spec behind one seedable
+config.  Two presets are provided:
+
+* :func:`default_config` — a scaled-down cluster whose log segments into
+  roughly ten thousand recovery processes; every benchmark finishes in
+  seconds while preserving the paper's marginal statistics.
+* :func:`paper_scale_config` — thousands of servers over half a year,
+  approaching the paper's two million log entries.  Provided for
+  completeness; not used by the default benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.cluster import SECONDS_PER_DAY, ClusterConfig
+from repro.tracegen.catalog_gen import CatalogSpec
+
+__all__ = ["TraceConfig", "default_config", "paper_scale_config"]
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Everything needed to generate one reproducible trace.
+
+    Attributes
+    ----------
+    cluster:
+        Cluster simulation parameters.
+    catalog:
+        Synthetic fault-catalog parameters.
+    seed:
+        Root seed for the catalog and the simulation RNG streams.
+    """
+
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    catalog: CatalogSpec = field(default_factory=CatalogSpec)
+    seed: Optional[int] = 7
+
+
+def default_config(seed: int = 7) -> TraceConfig:
+    """The benchmark-scale workload (~10k recovery processes)."""
+    return TraceConfig(
+        cluster=ClusterConfig(
+            machine_count=400,
+            duration=180 * SECONDS_PER_DAY,
+            mean_time_between_failures=6.0 * SECONDS_PER_DAY,
+        ),
+        catalog=CatalogSpec(),
+        seed=seed,
+    )
+
+
+def small_config(seed: int = 7, fault_count: int = 12) -> TraceConfig:
+    """A tiny workload for unit tests (~hundreds of processes)."""
+    return TraceConfig(
+        cluster=ClusterConfig(
+            machine_count=40,
+            duration=60 * SECONDS_PER_DAY,
+            mean_time_between_failures=6.0 * SECONDS_PER_DAY,
+        ),
+        catalog=CatalogSpec(fault_count=fault_count, reimage_ranks=(0,)),
+        seed=seed,
+    )
+
+
+def paper_scale_config(seed: int = 7) -> TraceConfig:
+    """Approach the paper's scale: thousands of servers, half a year.
+
+    Expect minutes of generation time and on the order of a million log
+    entries.
+    """
+    return TraceConfig(
+        cluster=ClusterConfig(
+            machine_count=4000,
+            duration=180 * SECONDS_PER_DAY,
+            mean_time_between_failures=5.0 * SECONDS_PER_DAY,
+        ),
+        catalog=CatalogSpec(),
+        seed=seed,
+    )

@@ -1,0 +1,24 @@
+"""Shared utilities: seeded RNG streams, table rendering, time formatting."""
+
+from repro.util.rng import RngStreams, make_rng
+from repro.util.tables import render_series, render_table
+from repro.util.timefmt import format_duration, format_wallclock
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "RngStreams",
+    "make_rng",
+    "render_series",
+    "render_table",
+    "format_duration",
+    "format_wallclock",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,76 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output consistent and readable in a
+terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Union
+
+__all__ = ["render_table", "render_series"]
+
+Number = Union[int, float]
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows = [[_stringify(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Mapping[object, Number]],
+    x_label: str = "x",
+    title: str = "",
+) -> str:
+    """Render one or more named series sharing an x axis as a table.
+
+    ``series`` maps a series name to an ``{x: y}`` mapping.  The x values
+    are the union of all series keys in sorted order; missing points render
+    as ``-``.
+    """
+    xs: set = set()
+    for points in series.values():
+        xs.update(points.keys())
+    ordered_xs = sorted(xs, key=lambda v: (str(type(v)), v))
+    names = list(series.keys())
+    headers = [x_label] + names
+    rows = []
+    for x in ordered_xs:
+        row: list = [x]
+        for name in names:
+            value = series[name].get(x)
+            row.append("-" if value is None else value)
+        rows.append(row)
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,58 @@
+"""Formatting helpers for simulation timestamps.
+
+Simulation time is a float number of seconds since the start of the trace.
+These helpers render durations ("2h 13m") and wall-clock stamps
+("3:07:12 am", as in the paper's Table 1).
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_duration", "format_wallclock", "SECONDS_PER_DAY"]
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in seconds as a compact human string.
+
+    >>> format_duration(45)
+    '45s'
+    >>> format_duration(3725)
+    '1h 2m 5s'
+    >>> format_duration(90000)
+    '1d 1h 0m 0s'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    total = int(round(seconds))
+    days, rem = divmod(total, 86_400)
+    hours, rem = divmod(rem, 3_600)
+    minutes, secs = divmod(rem, 60)
+    parts = []
+    if days:
+        parts.append(f"{days}d")
+    if hours or days:
+        parts.append(f"{hours}h")
+    if minutes or hours or days:
+        parts.append(f"{minutes}m")
+    parts.append(f"{secs}s")
+    return " ".join(parts)
+
+
+def format_wallclock(seconds: float) -> str:
+    """Render a simulation timestamp as a 12-hour wall-clock string.
+
+    The day number is dropped; only the time of day is shown, matching the
+    paper's Table 1 format.
+
+    >>> format_wallclock(3 * 3600 + 7 * 60 + 12)
+    '3:07:12 am'
+    """
+    day_seconds = int(round(seconds)) % int(SECONDS_PER_DAY)
+    hours, rem = divmod(day_seconds, 3_600)
+    minutes, secs = divmod(rem, 60)
+    suffix = "am" if hours < 12 else "pm"
+    display_hour = hours % 12
+    if display_hour == 0:
+        display_hour = 12
+    return f"{display_hour}:{minutes:02d}:{secs:02d} {suffix}"

@@ -1,0 +1,40 @@
+"""Argument-validation helpers used across configuration dataclasses."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_fraction",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise :class:`ConfigurationError` unless ``value > 0``."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Raise :class:`ConfigurationError` unless ``value >= 0``."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise :class:`ConfigurationError` unless ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Raise :class:`ConfigurationError` unless ``0 < value < 1``."""
+    if not 0.0 < value < 1.0:
+        raise ConfigurationError(f"{name} must be in (0, 1), got {value!r}")
+    return value

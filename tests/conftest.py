@@ -1,0 +1,27 @@
+"""Shared fixtures: the default action catalog and a small generated trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.actions import default_catalog
+from repro.tracegen.generator import generate_trace
+from repro.tracegen.workload import small_config
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """The paper's four-action catalog."""
+    return default_catalog()
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A tiny generated trace shared by integration-ish tests."""
+    return generate_trace(small_config(seed=13))
+
+
+@pytest.fixture(scope="session")
+def small_processes(small_trace):
+    """Completed recovery processes of the small trace."""
+    return small_trace.log.to_processes()

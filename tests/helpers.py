@@ -1,0 +1,103 @@
+"""Shared builders for tests: compact construction of processes and logs."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.recoverylog.entry import LogEntry
+from repro.recoverylog.log import RecoveryLog
+from repro.recoverylog.process import RecoveryProcess
+
+DEFAULT_STEP = 600.0
+
+
+def make_process(
+    actions: Sequence[str],
+    *,
+    machine: str = "m-test",
+    error_type: str = "error:X",
+    start: float = 0.0,
+    step: float = DEFAULT_STEP,
+    durations: Optional[Sequence[float]] = None,
+    extra_symptoms: Sequence[str] = (),
+    detection_delay: float = 60.0,
+) -> RecoveryProcess:
+    """Build a recovery process with controlled attempt durations.
+
+    The first symptom fires at ``start``; the first action after
+    ``detection_delay``; each attempt lasts ``durations[i]`` (or ``step``
+    for all when omitted); success closes the final attempt.
+    ``extra_symptoms`` are emitted right after the initial one.
+    """
+    if durations is None:
+        durations = [step] * len(actions)
+    if len(durations) != len(actions):
+        raise ValueError("durations must match actions")
+    entries: List[LogEntry] = [LogEntry.symptom(start, machine, error_type)]
+    for offset, symptom in enumerate(extra_symptoms, start=1):
+        entries.append(
+            LogEntry.symptom(start + offset * 1.0, machine, symptom)
+        )
+    time = start + detection_delay
+    for action, duration in zip(actions, durations):
+        entries.append(LogEntry.action(time, machine, action))
+        time += duration
+    entries.append(LogEntry.success(time, machine))
+    return RecoveryProcess(machine, tuple(entries))
+
+
+def make_log(processes: Iterable[RecoveryProcess]) -> RecoveryLog:
+    """Flatten processes back into a raw log."""
+    log = RecoveryLog()
+    for process in processes:
+        log.extend(process.entries)
+    return log
+
+
+#: Realistic per-action attempt durations for ladder fixtures (seconds).
+ACTION_DURATIONS = {
+    "TRYNOP": 300.0,
+    "REBOOT": 2_700.0,
+    "REIMAGE": 7_200.0,
+    "RMA": 172_800.0,
+}
+
+
+def ladder_processes(
+    error_type: str,
+    counts: Sequence[Tuple[Sequence[str], int]],
+    *,
+    machine_prefix: str = "m",
+    gap: float = 500_000.0,
+    step: Optional[float] = None,
+    realistic_durations: bool = False,
+) -> List[RecoveryProcess]:
+    """Build ``n`` copies of each action sequence, spaced in time.
+
+    ``counts`` is ``[(action sequence, copies), ...]``.  Each process
+    lands on its own machine so segmentation stays trivial.  With
+    ``realistic_durations`` each attempt lasts its action's nominal
+    duration (TRYNOP cheap, RMA days); otherwise every attempt lasts
+    ``step`` (default 600 s).
+    """
+    processes = []
+    index = 0
+    for sequence, copies in counts:
+        if realistic_durations:
+            durations = [ACTION_DURATIONS[a] for a in sequence]
+        else:
+            durations = [step if step is not None else DEFAULT_STEP] * len(
+                sequence
+            )
+        for _ in range(copies):
+            processes.append(
+                make_process(
+                    sequence,
+                    machine=f"{machine_prefix}-{index:04d}",
+                    error_type=error_type,
+                    start=index * gap,
+                    durations=durations,
+                )
+            )
+            index += 1
+    return processes

@@ -1,0 +1,114 @@
+"""Tests for repro.actions.action."""
+
+import pytest
+
+from repro.actions.action import (
+    ActionCatalog,
+    REBOOT,
+    REIMAGE,
+    RMA,
+    RepairAction,
+    TRYNOP,
+    default_catalog,
+)
+from repro.actions.costs import DeterministicCost
+from repro.errors import ConfigurationError, UnknownActionError
+
+
+class TestRepairAction:
+    def test_strength_ordering(self):
+        assert REBOOT.is_stronger_than(TRYNOP)
+        assert not TRYNOP.is_stronger_than(REBOOT)
+
+    def test_can_replace_weaker_and_equal(self):
+        assert REIMAGE.can_replace(REBOOT)
+        assert REBOOT.can_replace(REBOOT)
+        assert not REBOOT.can_replace(REIMAGE)
+
+    def test_str_is_name(self):
+        assert str(RMA) == "RMA"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RepairAction("", 0)
+
+    def test_negative_strength_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RepairAction("X", -1)
+
+    def test_default_cost_model_installed(self):
+        action = RepairAction("X", 0)
+        assert action.cost_model.mean > 0
+
+    def test_manual_flag(self):
+        assert RMA.manual
+        assert not REIMAGE.manual
+
+
+class TestActionCatalog:
+    def test_default_catalog_order(self, catalog):
+        assert catalog.names() == ["TRYNOP", "REBOOT", "REIMAGE", "RMA"]
+
+    def test_cheapest_and_strongest(self, catalog):
+        assert catalog.cheapest.name == "TRYNOP"
+        assert catalog.strongest.name == "RMA"
+
+    def test_lookup_by_name(self, catalog):
+        assert catalog["REBOOT"] is REBOOT
+
+    def test_unknown_name_raises(self, catalog):
+        with pytest.raises(UnknownActionError):
+            catalog["FSCK"]
+
+    def test_contains(self, catalog):
+        assert "REIMAGE" in catalog
+        assert "FSCK" not in catalog
+
+    def test_stronger_than(self, catalog):
+        names = [a.name for a in catalog.stronger_than(REBOOT)]
+        assert names == ["REIMAGE", "RMA"]
+
+    def test_next_stronger(self, catalog):
+        assert catalog.next_stronger(TRYNOP).name == "REBOOT"
+
+    def test_next_stronger_of_strongest_raises(self, catalog):
+        with pytest.raises(UnknownActionError):
+            catalog.next_stronger(RMA)
+
+    def test_strongest_must_be_manual(self):
+        with pytest.raises(ConfigurationError, match="manual"):
+            ActionCatalog([RepairAction("A", 0), RepairAction("B", 1)])
+
+    def test_duplicate_strengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActionCatalog(
+                [
+                    RepairAction("A", 0),
+                    RepairAction("B", 0, manual=True),
+                ]
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActionCatalog(
+                [
+                    RepairAction("A", 0),
+                    RepairAction("A", 1, manual=True),
+                ]
+            )
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActionCatalog([])
+
+    def test_iteration_in_strength_order(self):
+        custom = ActionCatalog(
+            [
+                RepairAction("HIGH", 5, DeterministicCost(1), manual=True),
+                RepairAction("LOW", 1, DeterministicCost(1)),
+            ]
+        )
+        assert [a.name for a in custom] == ["LOW", "HIGH"]
+
+    def test_len(self, catalog):
+        assert len(catalog) == 4

@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.recoverylog.io import write_log_jsonl
+
+
+@pytest.fixture(scope="module")
+def log_path(tmp_path_factory, small_trace):
+    path = tmp_path_factory.mktemp("cli") / "cluster.jsonl"
+    write_log_jsonl(small_trace.log, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--out", "x.jsonl", "--scale", "small"]
+        )
+        assert args.command == "generate"
+        assert args.scale == "small"
+
+
+class TestGenerate:
+    def test_generate_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "log.jsonl"
+        code = main(
+            ["generate", "--out", str(out), "--scale", "small",
+             "--seed", "3"]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "recovery processes" in capsys.readouterr().out
+
+    def test_generate_text(self, tmp_path, capsys):
+        out = tmp_path / "log.tsv"
+        code = main(
+            ["generate", "--out", str(out), "--scale", "small",
+             "--format", "text", "--seed", "3"]
+        )
+        assert code == 0
+        first = out.read_text().splitlines()[0]
+        assert len(first.split("\t")) == 3
+
+
+class TestInspect:
+    def test_inspect_prints_calibration(self, log_path, capsys):
+        assert main(["inspect", "--log", log_path]) == 0
+        out = capsys.readouterr().out
+        assert "Trace calibration" in out
+        assert "Repair-action usage" in out
+
+    def test_missing_file_is_error(self, capsys):
+        assert main(["inspect", "--log", "/nonexistent.jsonl"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestMine:
+    def test_mine_reports_clusters(self, log_path, capsys):
+        assert main(["mine", "--log", log_path]) == 0
+        out = capsys.readouterr().out
+        assert "symptom clusters" in out
+        assert "coverage" in out
+
+
+class TestTrainEvaluate:
+    def test_train_then_evaluate(self, log_path, tmp_path, capsys):
+        policy_path = tmp_path / "policy.json"
+        code = main(
+            [
+                "train",
+                "--log", log_path,
+                "--out", str(policy_path),
+                "--fraction", "0.5",
+                "--top-k", "3",
+            ]
+        )
+        assert code == 0
+        assert policy_path.exists()
+        out = capsys.readouterr().out
+        assert "state-action rules" in out
+
+        code = main(
+            [
+                "evaluate",
+                "--log", log_path,
+                "--policy", str(policy_path),
+                "--fraction", "0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "user-defined" in out
+        assert "hybrid" in out
+
+
+class TestExperiment:
+    @pytest.mark.parametrize("figure", ["table1", "fig3", "fig5", "fig6"])
+    def test_light_figures_on_small_scale(self, figure, capsys):
+        code = main(
+            ["experiment", "--figure", figure, "--scale", "small",
+             "--seed", "13"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip()

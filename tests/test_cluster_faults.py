@@ -1,0 +1,143 @@
+"""Tests for the ground-truth fault model."""
+
+import numpy as np
+import pytest
+
+from repro.actions import REBOOT, RMA, TRYNOP, default_catalog
+from repro.cluster.faults import FaultCatalog, FaultType, validate_fault_catalog
+from repro.errors import ConfigurationError
+
+
+def fault(name="f", primary="error:X", cures=None, weight=1.0, **kwargs):
+    return FaultType(
+        name=name,
+        primary_symptom=primary,
+        cure_probabilities=cures or {"REBOOT": 0.8},
+        weight=weight,
+        **kwargs,
+    )
+
+
+class TestFaultType:
+    def test_cure_probability_lookup(self):
+        f = fault(cures={"TRYNOP": 0.2, "REBOOT": 0.9})
+        assert f.cure_probability(TRYNOP) == pytest.approx(0.2)
+        assert f.cure_probability(REBOOT) == pytest.approx(0.9)
+
+    def test_missing_action_raw_probability_is_zero(self):
+        assert fault(cures={"REIMAGE": 0.5}).cure_probability(TRYNOP) == 0.0
+
+    def test_manual_action_always_cures(self):
+        assert fault(cures={"REIMAGE": 0.5}).cure_probability(RMA) == 1.0
+
+    def test_all_symptoms_starts_with_primary(self):
+        f = FaultType(
+            name="f",
+            primary_symptom="error:X",
+            secondary_symptoms=("warn:A",),
+        )
+        assert f.all_symptoms == ("error:X", "warn:A")
+
+    def test_primary_cannot_repeat_in_secondaries(self):
+        with pytest.raises(ConfigurationError):
+            FaultType(
+                name="f",
+                primary_symptom="error:X",
+                secondary_symptoms=("error:X",),
+            )
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fault(cures={"REBOOT": 1.5})
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fault(weight=0.0)
+
+
+class TestFaultCatalog:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultCatalog([fault("a"), fault("a", primary="error:Y")])
+
+    def test_duplicate_primaries_rejected(self):
+        with pytest.raises(ConfigurationError, match="primary"):
+            FaultCatalog([fault("a"), fault("b")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultCatalog([])
+
+    def test_lookup(self):
+        catalog = FaultCatalog([fault("a")])
+        assert catalog["a"].name == "a"
+        with pytest.raises(ConfigurationError):
+            catalog["missing"]
+
+    def test_occurrence_probabilities_normalized(self):
+        catalog = FaultCatalog(
+            [
+                fault("a", weight=3.0),
+                fault("b", primary="error:Y", weight=1.0),
+            ]
+        )
+        probabilities = catalog.occurrence_probabilities()
+        assert probabilities["a"] == pytest.approx(0.75)
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+
+    def test_sampling_follows_weights(self):
+        catalog = FaultCatalog(
+            [
+                fault("common", weight=9.0),
+                fault("rare", primary="error:Y", weight=1.0),
+            ]
+        )
+        rng = np.random.default_rng(0)
+        draws = [catalog.sample(rng).name for _ in range(2000)]
+        share = draws.count("common") / len(draws)
+        assert 0.85 < share < 0.95
+
+
+class TestEffectiveCureProbabilities:
+    def test_unspecified_inherits_running_maximum(self):
+        from repro.cluster.faults import effective_cure_probabilities
+
+        f = fault(cures={"TRYNOP": 0.3, "REBOOT": 0.9})
+        effective = effective_cure_probabilities(f, default_catalog())
+        assert effective["REIMAGE"] == pytest.approx(0.9)
+        assert effective["RMA"] == 1.0
+
+    def test_unspecified_weakest_stays_zero(self):
+        from repro.cluster.faults import effective_cure_probabilities
+
+        f = fault(cures={"REIMAGE": 0.8})
+        effective = effective_cure_probabilities(f, default_catalog())
+        assert effective["TRYNOP"] == 0.0
+        assert effective["REBOOT"] == 0.0
+
+    def test_explicit_decrease_rejected(self):
+        from repro.cluster.faults import effective_cure_probabilities
+
+        f = fault(cures={"TRYNOP": 0.9, "REIMAGE": 0.2})
+        with pytest.raises(ConfigurationError, match="monotone"):
+            effective_cure_probabilities(f, default_catalog())
+
+
+class TestValidateFaultCatalog:
+    def test_monotone_cures_pass(self):
+        catalog = FaultCatalog(
+            [fault("a", cures={"TRYNOP": 0.1, "REBOOT": 0.5, "REIMAGE": 0.9})]
+        )
+        validate_fault_catalog(catalog, default_catalog())
+
+    def test_decreasing_cures_rejected(self):
+        catalog = FaultCatalog(
+            [fault("a", cures={"TRYNOP": 0.9, "REBOOT": 0.1})]
+        )
+        with pytest.raises(ConfigurationError, match="monotone"):
+            validate_fault_catalog(catalog, default_catalog())
+
+    def test_unknown_action_rejected(self):
+        catalog = FaultCatalog([fault("a", cures={"FSCK": 0.5})])
+        with pytest.raises(ConfigurationError, match="unknown action"):
+            validate_fault_catalog(catalog, default_catalog())

@@ -1,0 +1,126 @@
+"""Tests for the rolling retrainer (online adaptation)."""
+
+import pytest
+
+from helpers import ladder_processes
+from repro.actions import default_catalog
+from repro.core.config import PipelineConfig
+from repro.core.online import RollingRetrainer
+from repro.errors import ConfigurationError, TrainingError
+from repro.learning.qlearning import QLearningConfig
+from repro.learning.selection_tree import SelectionTreeConfig
+from repro.mdp.state import RecoveryState
+
+CATALOG = default_catalog()
+
+
+def fast_config():
+    return PipelineConfig(
+        top_k_types=2,
+        qlearning=QLearningConfig(max_sweeps=100, episodes_per_sweep=16),
+        tree=SelectionTreeConfig(min_sweeps=30, check_interval=15),
+    )
+
+
+def era(reboot_curable: bool, count: int = 60, start_index: int = 0):
+    """Processes of one drifting type plus a steady companion type."""
+    if reboot_curable:
+        drifting = [(["TRYNOP", "REBOOT"], count * 2 // 3),
+                    (["TRYNOP"], count // 3)]
+    else:
+        drifting = [
+            (["TRYNOP", "REBOOT", "REBOOT", "REIMAGE"], count),
+        ]
+    return ladder_processes(
+        "error:Drift", drifting,
+        machine_prefix=f"d{start_index}", realistic_durations=True,
+    ) + ladder_processes(
+        "error:Steady", [(["TRYNOP"], count)],
+        machine_prefix=f"s{start_index}", realistic_durations=True,
+    )
+
+
+class TestConfiguration:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"retrain_every": 0},
+            {"min_history": 0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RollingRetrainer(CATALOG, **kwargs)
+
+    def test_retrain_without_history_rejected(self):
+        retrainer = RollingRetrainer(CATALOG, fast_config())
+        with pytest.raises(TrainingError):
+            retrainer.retrain()
+
+
+class TestLifecycle:
+    def test_fallback_deployed_before_first_fit(self):
+        retrainer = RollingRetrainer(CATALOG, fast_config())
+        assert retrainer.current_policy().name == "user-defined"
+        assert retrainer.retrain_count == 0
+
+    def test_observe_triggers_retrain_at_threshold(self):
+        retrainer = RollingRetrainer(
+            CATALOG, fast_config(), min_history=50, retrain_every=100
+        )
+        triggered = []
+        for process in era(reboot_curable=True, count=60):
+            triggered.append(retrainer.observe(process))
+        assert sum(triggered) == 1
+        assert retrainer.retrain_count == 1
+        assert retrainer.current_policy().name == "hybrid"
+
+    def test_window_ages_out_old_history(self):
+        retrainer = RollingRetrainer(
+            CATALOG, fast_config(), window=30, min_history=10,
+            retrain_every=10**9,
+        )
+        for process in era(reboot_curable=True, count=60):
+            retrainer.observe(process)
+        assert retrainer.history_size == 30
+
+    def test_adaptation_to_drift(self):
+        retrainer = RollingRetrainer(
+            CATALOG,
+            fast_config(),
+            window=120,
+            min_history=60,
+            retrain_every=10**9,  # manual retraining in this test
+        )
+        for process in era(reboot_curable=True, count=60):
+            retrainer.observe(process)
+        retrainer.retrain()
+        s0 = RecoveryState.initial("error:Drift")
+        first = retrainer.learner.rules_[s0][0]
+        assert first == "TRYNOP"  # ladder is fine while reboots work
+
+        # The environment drifts: reboots stop curing the fault.
+        for process in era(
+            reboot_curable=False, count=60, start_index=1
+        ):
+            retrainer.observe(process)
+        retrainer.retrain()
+        second = retrainer.learner.rules_[s0][0]
+        assert second == "REIMAGE"
+        assert retrainer.retrain_count == 2
+
+    def test_failed_retrain_keeps_previous_policy(self):
+        retrainer = RollingRetrainer(
+            CATALOG,
+            # min_processes_per_type impossible -> fit always fails
+            PipelineConfig(min_processes_per_type=10**9),
+            min_history=1,
+            retrain_every=10**9,
+        )
+        retrainer.observe(era(True, count=3)[0])
+        with pytest.raises(TrainingError):
+            retrainer.retrain()
+        # Deployment unchanged: the fallback still serves.
+        assert retrainer.current_policy().name == "user-defined"
+        assert retrainer.retrain_count == 0

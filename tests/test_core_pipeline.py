@@ -1,0 +1,143 @@
+"""Tests for the end-to-end RecoveryPolicyLearner pipeline."""
+
+import pytest
+
+from repro.actions import default_catalog
+from repro.core import PipelineConfig, RecoveryPolicyLearner
+from repro.errors import ConfigurationError, NotTrainedError, TrainingError
+from repro.evaluation import time_ordered_split
+from repro.learning.qlearning import QLearningConfig
+from repro.learning.selection_tree import SelectionTreeConfig
+
+
+def fast_config(**overrides):
+    defaults = dict(
+        top_k_types=6,
+        qlearning=QLearningConfig(max_sweeps=120, episodes_per_sweep=16),
+        tree=SelectionTreeConfig(min_sweeps=30, check_interval=15),
+    )
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def fitted(small_processes):
+    train, _test = time_ordered_split(small_processes, 0.5)
+    learner = RecoveryPolicyLearner(config=fast_config())
+    return learner.fit(train)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"minp": 0.0},
+            {"minp": 1.5},
+            {"top_k_types": 0},
+            {"min_processes_per_type": 0},
+            {"max_actions": 1},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(**kwargs)
+
+
+class TestFit:
+    def test_fit_produces_rules_and_registry(self, fitted):
+        assert fitted.rules_
+        assert fitted.registry_ is not None
+        assert len(fitted.registry_) <= 6
+        assert fitted.training_result_ is not None
+
+    def test_fit_accepts_recovery_log(self, small_trace):
+        learner = RecoveryPolicyLearner(
+            config=fast_config(top_k_types=3)
+        )
+        learner.fit(small_trace.log)
+        assert learner.rules_
+
+    def test_noise_filter_recorded(self, fitted):
+        assert fitted.noise_result_ is not None
+        assert 0.0 <= fitted.noise_result_.noise_fraction < 0.2
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(TrainingError):
+            RecoveryPolicyLearner().fit([])
+
+    def test_thin_types_skipped(self, small_processes):
+        train, _ = time_ordered_split(small_processes, 0.5)
+        learner = RecoveryPolicyLearner(
+            config=fast_config(min_processes_per_type=10**6)
+        )
+        with pytest.raises(TrainingError, match="enough training"):
+            learner.fit(train)
+
+    def test_greedy_extraction_mode(self, small_processes):
+        train, _ = time_ordered_split(small_processes, 0.5)
+        learner = RecoveryPolicyLearner(
+            config=fast_config(top_k_types=3, use_selection_tree=False)
+        )
+        learner.fit(train)
+        assert learner.rules_
+
+
+class TestPolicies:
+    def test_policies_require_fit(self):
+        learner = RecoveryPolicyLearner()
+        with pytest.raises(NotTrainedError):
+            learner.trained_policy()
+        with pytest.raises(NotTrainedError):
+            learner.hybrid_policy()
+        with pytest.raises(NotTrainedError):
+            learner.make_evaluator([])
+
+    def test_trained_policy_covers_registry_types(self, fitted):
+        policy = fitted.trained_policy()
+        trained_types = set(policy.error_types())
+        registry_types = set(fitted.registry_.names)
+        assert trained_types <= registry_types
+        assert trained_types  # at least one type learned
+
+    def test_hybrid_policy_default_fallback(self, fitted):
+        hybrid = fitted.hybrid_policy()
+        assert hybrid.fallback.name == "user-defined"
+
+    def test_hybrid_policy_custom_fallback(self, fitted):
+        from repro.policies import AlwaysStrongestPolicy
+
+        hybrid = fitted.hybrid_policy(
+            AlwaysStrongestPolicy(default_catalog())
+        )
+        assert hybrid.fallback.name == "always-strongest"
+
+
+class TestEvaluation:
+    def test_end_to_end_improvement(self, small_processes):
+        train, test = time_ordered_split(small_processes, 0.5)
+        learner = RecoveryPolicyLearner(config=fast_config())
+        learner.fit(train)
+        evaluator = learner.make_evaluator(test, filter_test_noise=False)
+        trained = evaluator.evaluate(learner.trained_policy())
+        hybrid = evaluator.evaluate(learner.hybrid_policy())
+        user = evaluator.evaluate(
+            __import__(
+                "repro.policies", fromlist=["UserDefinedPolicy"]
+            ).UserDefinedPolicy(default_catalog())
+        )
+        # The log's own policy is the reference point.
+        assert user.overall_relative_cost == pytest.approx(1.0)
+        # The trained policy must not be worse overall, and the small
+        # workload pins a reimage-needing type at rank 1, so it should
+        # actually save time.
+        assert trained.overall_relative_cost < 1.0
+        assert hybrid.overall_coverage == 1.0
+        assert hybrid.overall_relative_cost <= 1.02
+
+    def test_evaluator_filters_test_noise_by_default(self, fitted, small_processes):
+        _train, test = time_ordered_split(small_processes, 0.5)
+        filtered = fitted.make_evaluator(test)
+        unfiltered = fitted.make_evaluator(test, filter_test_noise=False)
+        assert len(filtered.platform.processes) <= len(
+            unfiltered.platform.processes
+        )

@@ -1,0 +1,83 @@
+"""Tests for error-type inference and the registry."""
+
+import pytest
+
+from helpers import ladder_processes, make_process
+from repro.errors import UnknownErrorTypeError
+from repro.errortypes.inference import infer_error_type
+from repro.errortypes.registry import ErrorTypeRegistry
+
+
+class TestInference:
+    def test_initial_symptom_is_error_type(self):
+        process = make_process(
+            ["TRYNOP"], error_type="error:First", extra_symptoms=["warn:Second"]
+        )
+        assert infer_error_type(process) == "error:First"
+
+
+@pytest.fixture
+def registry():
+    processes = (
+        ladder_processes("error:A", [(["TRYNOP"], 5)])
+        + ladder_processes("error:B", [(["REBOOT"], 3)], machine_prefix="n")
+        + ladder_processes("error:C", [(["RMA"], 1)], machine_prefix="o")
+    )
+    return ErrorTypeRegistry.from_processes(processes)
+
+
+class TestRegistry:
+    def test_ranking_by_frequency(self, registry):
+        assert registry.names == ("error:A", "error:B", "error:C")
+        assert registry.rank_of("error:B") == 2
+
+    def test_counts_and_downtime(self, registry):
+        info = registry["error:A"]
+        assert info.count == 5
+        assert info.total_downtime > 0
+        assert info.mean_downtime == pytest.approx(
+            info.total_downtime / 5
+        )
+
+    def test_unknown_type_raises(self, registry):
+        with pytest.raises(UnknownErrorTypeError):
+            registry["error:missing"]
+
+    def test_contains(self, registry):
+        assert "error:A" in registry
+        assert "error:zzz" not in registry
+
+    def test_top_k(self, registry):
+        top = registry.top(2)
+        assert top.names == ("error:A", "error:B")
+        assert len(top) == 2
+
+    def test_top_k_larger_than_registry(self, registry):
+        assert len(registry.top(10)) == 3
+
+    def test_coverage_of_top(self, registry):
+        assert registry.coverage_of_top(1) == pytest.approx(5 / 9)
+        assert registry.coverage_of_top(3) == pytest.approx(1.0)
+
+    def test_total_process_count(self, registry):
+        assert registry.total_process_count() == 9
+
+    def test_partition_groups_by_type(self, registry):
+        processes = ladder_processes(
+            "error:B", [(["TRYNOP"], 2)]
+        ) + ladder_processes("error:unknown", [(["TRYNOP"], 2)], machine_prefix="q")
+        groups = registry.top(2).partition(processes)
+        assert len(groups["error:B"]) == 2
+        assert groups["error:A"] == []
+        assert "error:unknown" not in groups
+
+    def test_rank_tie_breaks_alphabetically(self):
+        processes = ladder_processes(
+            "error:Z", [(["TRYNOP"], 2)]
+        ) + ladder_processes("error:A", [(["TRYNOP"], 2)], machine_prefix="n")
+        registry = ErrorTypeRegistry.from_processes(processes)
+        assert registry.names == ("error:A", "error:Z")
+
+    def test_iteration_yields_infos_in_rank_order(self, registry):
+        ranks = [info.rank for info in registry]
+        assert ranks == [1, 2, 3]

@@ -1,0 +1,128 @@
+"""Tests for the experiment drivers, on a miniature scenario.
+
+These exercise every figure driver end to end with a small workload so
+the full benchmark-scale runs stay in the benchmark suite.
+"""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.experiments.ablations import ablation_hypotheses
+from repro.experiments.bundle import train_fraction
+from repro.experiments.figures import (
+    fig3_symptom_sets,
+    fig5_error_type_counts,
+    fig6_downtime,
+    fig7_platform_validation,
+    table1_example_process,
+)
+from repro.experiments.scenario import Scenario, build_scenario, default_scenario
+from repro.learning.qlearning import QLearningConfig
+from repro.learning.selection_tree import SelectionTreeConfig
+from repro.tracegen.workload import small_config
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(small_config(seed=13), top_k=8)
+
+
+class TestScenario:
+    def test_artifacts_present(self, scenario):
+        assert scenario.processes
+        assert scenario.clean
+        assert len(scenario.registry) <= 8
+        assert scenario.user_policy.name == "user-defined"
+
+    def test_ranks_map(self, scenario):
+        ranks = scenario.ranks
+        assert set(ranks.values()) == set(range(1, len(scenario.registry) + 1))
+
+    def test_default_scenario_memoized(self):
+        # Only checks the cache identity, not the heavy default build.
+        from repro.experiments import scenario as scenario_module
+
+        scenario_module._DEFAULT_CACHE[999] = "sentinel"
+        assert default_scenario(999) == "sentinel"
+        del scenario_module._DEFAULT_CACHE[999]
+
+
+class TestDataFigures:
+    def test_table1(self, scenario):
+        result = table1_example_process(scenario)
+        text = result.render()
+        assert "Success" in text
+        assert len(result.process.actions) >= 2
+
+    def test_fig3_curve_monotone(self, scenario):
+        result = fig3_symptom_sets(scenario, minps=(0.1, 0.5, 1.0))
+        values = [result.curve[m] for m in sorted(result.curve)]
+        assert values[0] >= values[-1]
+        assert "Figure 3" in result.render()
+
+    def test_fig5_counts_descend_with_rank(self, scenario):
+        result = fig5_error_type_counts(scenario)
+        counts = [result.series[r] for r in sorted(result.series)]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_fig6_downtime_positive(self, scenario):
+        result = fig6_downtime(scenario)
+        assert all(v > 0 for v in result.series.values())
+
+    def test_fig7_validation(self, scenario):
+        result = fig7_platform_validation(scenario)
+        assert set(result.report.relative_cost) == set(
+            scenario.registry.names
+        )
+        assert result.report.mean_deviation < 0.3
+
+
+class TestBundles:
+    def test_train_fraction_produces_three_evaluations(self, scenario):
+        config = PipelineConfig(
+            top_k_types=6,
+            qlearning=QLearningConfig(max_sweeps=100, episodes_per_sweep=16),
+            tree=SelectionTreeConfig(min_sweeps=30, check_interval=15),
+        )
+        bundle = train_fraction(
+            scenario, 0.5, config=config, use_cache=False
+        )
+        assert bundle.user_eval.overall_relative_cost == pytest.approx(1.0)
+        assert bundle.trained_eval.overall_relative_cost <= 1.0
+        assert bundle.hybrid_eval.overall_coverage == 1.0
+
+    def test_cache_reuses_default_config_runs(self, scenario, monkeypatch):
+        from repro.experiments import bundle as bundle_module
+
+        calls = {"count": 0}
+        original = bundle_module.RecoveryPolicyLearner.fit
+
+        def counting_fit(self, source):
+            calls["count"] += 1
+            return original(self, source)
+
+        monkeypatch.setattr(
+            bundle_module.RecoveryPolicyLearner, "fit", counting_fit
+        )
+        bundle_module._CACHE.clear()
+        try:
+            config_free_scenario = scenario
+            # First call trains, second hits the cache.
+            train_fraction(config_free_scenario, 0.7)
+            train_fraction(config_free_scenario, 0.7)
+            assert calls["count"] == 1
+        finally:
+            bundle_module._CACHE.clear()
+
+
+class TestAblations:
+    def test_hypotheses_ablation_shows_unsoundness_of_naive_rule(
+        self, scenario
+    ):
+        result = ablation_hypotheses(scenario)
+        paper = result.mean_ratio["last+stronger (paper)"]
+        naive = result.mean_ratio["last action only"]
+        assert paper == pytest.approx(1.0, abs=1e-9)
+        assert naive < 1.0
+        assert result.early_finish_fraction["last action only"] > 0
+        assert "Ablation" in result.render()

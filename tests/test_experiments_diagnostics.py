@@ -1,0 +1,116 @@
+"""Tests for policy-diff diagnostics and the threshold sensitivity sweep."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import RecoveryPolicyLearner
+from repro.errors import NotTrainedError
+from repro.evaluation.split import time_ordered_split
+from repro.experiments.diagnostics import diff_policies
+from repro.experiments.scenario import build_scenario
+from repro.experiments.sensitivity import sweep_tree_threshold
+from repro.learning.qlearning import QLearningConfig
+from repro.learning.selection_tree import SelectionTreeConfig
+from repro.tracegen.workload import small_config
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(small_config(seed=19), top_k=6)
+
+
+@pytest.fixture(scope="module")
+def fitted(scenario):
+    train, test = time_ordered_split(scenario.processes, 0.5)
+    learner = RecoveryPolicyLearner(
+        config=PipelineConfig(
+            top_k_types=6,
+            qlearning=QLearningConfig(max_sweeps=120, episodes_per_sweep=16),
+            tree=SelectionTreeConfig(min_sweeps=40, check_interval=20),
+        )
+    ).fit(train)
+    evaluator = learner.make_evaluator(test)
+    evaluation = evaluator.evaluate(learner.trained_policy())
+    return learner, evaluation
+
+
+class TestDiffPolicies:
+    def test_requires_fit(self):
+        with pytest.raises(NotTrainedError):
+            diff_policies(RecoveryPolicyLearner())
+
+    def test_entries_for_every_trained_type(self, fitted):
+        learner, _evaluation = fitted
+        report = diff_policies(learner)
+        assert len(report.entries) == len(learner.registry_)
+
+    def test_pinned_reimage_type_diverges_at_first_action(self, fitted):
+        learner, _evaluation = fitted
+        report = diff_policies(learner)
+        # The small workload pins a reimage-needing fault at rank 1: the
+        # trained chain must change the FIRST action (the paper's
+        # observed improvement pattern).
+        changes = report.first_action_changes()
+        assert changes
+        assert any(
+            entry.trained_chain and entry.trained_chain[0] == "REIMAGE"
+            for entry in changes
+        )
+
+    def test_incumbent_chain_is_the_ladder(self, fitted):
+        learner, _evaluation = fitted
+        report = diff_policies(learner, depth=4)
+        for entry in report.entries:
+            assert entry.incumbent_chain == (
+                "TRYNOP",
+                "REBOOT",
+                "REBOOT",
+                "REIMAGE",
+            )
+
+    def test_relative_costs_attached(self, fitted):
+        learner, evaluation = fitted
+        report = diff_policies(learner, evaluation=evaluation)
+        attached = [
+            e for e in report.entries if e.relative_cost is not None
+        ]
+        assert attached
+
+    def test_divergence_index_consistency(self, fitted):
+        learner, _evaluation = fitted
+        report = diff_policies(learner)
+        for entry in report.entries:
+            if entry.first_divergence is not None:
+                index = entry.first_divergence
+                assert (
+                    entry.incumbent_chain[index]
+                    != entry.trained_chain[index]
+                )
+                assert entry.diverges
+
+    def test_render(self, fitted):
+        learner, evaluation = fitted
+        text = diff_policies(learner, evaluation=evaluation).render()
+        assert "Policy diff" in text
+        assert "incumbent" in text
+
+
+class TestThresholdSweep:
+    def test_sweep_shapes(self, scenario):
+        result = sweep_tree_threshold(
+            scenario,
+            thresholds=(0.0, 0.4),
+            fraction=0.5,
+            top_k=4,
+            qlearning=QLearningConfig(
+                max_sweeps=90, episodes_per_sweep=16
+            ),
+        )
+        assert len(result.points) == 2
+        zero, wide = result.points
+        # Wider thresholds can only enumerate more candidates.
+        assert wide.mean_candidates >= zero.mean_candidates
+        for point in result.points:
+            assert 0.3 < point.relative_cost < 1.3
+            assert point.mean_sweeps > 0
+        assert "threshold" in result.render()

@@ -1,0 +1,131 @@
+"""Fast, small-scale runs of the heavy figure drivers (8-14).
+
+The benchmark suite exercises them at full scale; these tests verify the
+drivers' mechanics (series shapes, caching, rendering) with a miniature
+scenario and a fast pipeline configuration.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.experiments.figures import (
+    fig8_trained_relative_cost,
+    fig9_trained_total_cost,
+    fig10_coverage,
+    fig11_hybrid_per_type,
+    fig12_hybrid_total_cost,
+    fig13_training_time,
+    fig14_selection_tree_quality,
+)
+from repro.experiments.scenario import build_scenario
+from repro.learning.qlearning import QLearningConfig
+from repro.learning.selection_tree import SelectionTreeConfig
+from repro.tracegen.workload import small_config
+
+FRACTIONS = (0.4, 0.6)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(small_config(seed=17), top_k=6)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PipelineConfig(
+        top_k_types=6,
+        qlearning=QLearningConfig(max_sweeps=90, episodes_per_sweep=16),
+        tree=SelectionTreeConfig(min_sweeps=30, check_interval=15),
+    )
+
+
+class TestTrainedFigures:
+    def test_fig8_series_per_fraction(self, scenario, config):
+        result = fig8_trained_relative_cost(
+            scenario, FRACTIONS, config=config
+        )
+        assert len(result.evaluations) == 2
+        for evaluation in result.evaluations:
+            ratios = evaluation.relative_costs()
+            assert ratios
+            assert all(0.2 < r < 2.5 for r in ratios.values())
+        assert "Figure 8" in result.render()
+
+    def test_fig9_totals(self, scenario, config):
+        result = fig9_trained_total_cost(scenario, FRACTIONS, config=config)
+        by_fraction = result.relative_by_fraction()
+        assert set(by_fraction) == set(FRACTIONS)
+        # The trained policy is never worse than the incumbent overall
+        # (conservative improvement guarantees this on the training set;
+        # the held-out future can wobble a little).
+        assert all(v < 1.1 for v in by_fraction.values())
+        assert "user-defined" in result.render()
+
+    def test_fig10_coverage_fractions(self, scenario, config):
+        result = fig10_coverage(scenario, FRACTIONS, config=config)
+        for evaluation in result.evaluations:
+            coverages = evaluation.coverages()
+            assert all(0.0 <= c <= 1.0 for c in coverages.values())
+        assert "coverage" in result.render().lower()
+
+    def test_fig11_two_panels(self, scenario, config):
+        results = fig11_hybrid_per_type(scenario, FRACTIONS, config=config)
+        assert len(results) == 2
+        for result in results:
+            trained_eval, hybrid_eval = result.evaluations
+            assert hybrid_eval.overall_coverage == 1.0
+
+    def test_fig12_hybrid_totals(self, scenario, config):
+        result = fig12_hybrid_total_cost(scenario, FRACTIONS, config=config)
+        for _user, hybrid in result.pairs:
+            assert hybrid.overall_coverage == 1.0
+            assert hybrid.overall_relative_cost < 1.1
+
+
+class TestTreeComparisonFigures:
+    def test_fig13_and_fig14_share_one_computation(self, scenario, config):
+        first = fig13_training_time(
+            scenario, 0.5, standard_cap=120, config=config
+        )
+        second = fig14_selection_tree_quality(
+            scenario, 0.5, standard_cap=120, config=config
+        )
+        assert first is second  # cached comparison object
+
+    def test_fig13_tree_is_faster(self, scenario, config):
+        result = fig13_training_time(
+            scenario, 0.5, standard_cap=120, config=config
+        )
+        tree = list(result.tree_sweeps.values())
+        standard = list(result.standard_sweeps.values())
+        assert statistics.median(tree) < statistics.median(standard)
+        assert "Figure 13" in result.render_fig13()
+
+    def test_fig14_tree_not_worse(self, scenario, config):
+        result = fig14_selection_tree_quality(
+            scenario, 0.5, standard_cap=120, config=config
+        )
+        assert (
+            result.tree_eval.overall_relative_cost
+            <= result.standard_eval.overall_relative_cost + 0.05
+        )
+        assert "Figure 14" in result.render_fig14()
+
+
+class TestBundleCacheKeying:
+    def test_distinct_configs_do_not_collide(self, scenario, config):
+        from repro.experiments.bundle import train_fraction
+
+        other = PipelineConfig(
+            top_k_types=2,
+            qlearning=QLearningConfig(max_sweeps=60, episodes_per_sweep=8),
+            tree=SelectionTreeConfig(min_sweeps=20, check_interval=10),
+        )
+        a = train_fraction(scenario, 0.4, config=config)
+        b = train_fraction(scenario, 0.4, config=other)
+        assert a is not b
+        assert len(b.learner.registry_) <= 2
+        # Same config hits the cache.
+        assert train_fraction(scenario, 0.4, config=config) is a

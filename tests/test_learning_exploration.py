@@ -1,0 +1,133 @@
+"""Tests for exploration strategies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.learning.exploration import (
+    BoltzmannExplorer,
+    EpsilonGreedyExplorer,
+    TemperatureSchedule,
+)
+
+
+class TestTemperatureSchedule:
+    def test_geometric_decay(self):
+        schedule = TemperatureSchedule(initial=100.0, decay=0.5, floor=1.0)
+        assert schedule.temperature(0) == 100.0
+        assert schedule.temperature(1) == 50.0
+        assert schedule.temperature(2) == 25.0
+
+    def test_floor_respected(self):
+        schedule = TemperatureSchedule(initial=100.0, decay=0.5, floor=10.0)
+        assert schedule.temperature(50) == 10.0
+
+    def test_search_phase_detection(self):
+        schedule = TemperatureSchedule(initial=100.0, decay=0.5, floor=10.0)
+        assert not schedule.is_search_phase(0)
+        assert schedule.is_search_phase(10)
+
+    def test_negative_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TemperatureSchedule().temperature(-1)
+
+    def test_floor_above_initial_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TemperatureSchedule(initial=1.0, floor=2.0)
+
+    def test_bad_decay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TemperatureSchedule(decay=0.0)
+
+
+class TestBoltzmannExplorer:
+    def test_probabilities_sum_to_one(self):
+        explorer = BoltzmannExplorer(seed=0)
+        probabilities = explorer.probabilities(
+            {"a": 100.0, "b": 500.0}, sweep=0
+        )
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+
+    def test_lower_cost_more_probable(self):
+        explorer = BoltzmannExplorer(
+            TemperatureSchedule(initial=100.0), seed=0
+        )
+        probabilities = explorer.probabilities(
+            {"cheap": 10.0, "dear": 500.0}, sweep=0
+        )
+        assert probabilities["cheap"] > probabilities["dear"]
+
+    def test_high_temperature_near_uniform(self):
+        explorer = BoltzmannExplorer(
+            TemperatureSchedule(initial=1e9), seed=0
+        )
+        probabilities = explorer.probabilities(
+            {"a": 10.0, "b": 5000.0}, sweep=0
+        )
+        assert probabilities["a"] == pytest.approx(0.5, abs=0.01)
+
+    def test_low_temperature_near_greedy(self):
+        explorer = BoltzmannExplorer(
+            TemperatureSchedule(initial=1.0, floor=1.0), seed=0
+        )
+        probabilities = explorer.probabilities(
+            {"a": 10.0, "b": 5000.0}, sweep=0
+        )
+        assert probabilities["a"] > 0.999
+
+    def test_numerical_stability_with_huge_values(self):
+        explorer = BoltzmannExplorer(seed=0)
+        probabilities = explorer.probabilities(
+            {"a": 1e12, "b": 1e12 + 5.0}, sweep=0
+        )
+        assert np.isfinite(list(probabilities.values())).all()
+
+    def test_select_draws_according_to_distribution(self):
+        explorer = BoltzmannExplorer(
+            TemperatureSchedule(initial=100.0, decay=1.0, floor=100.0),
+            seed=0,
+        )
+        draws = [
+            explorer.select({"cheap": 10.0, "dear": 600.0}, sweep=0)
+            for _ in range(500)
+        ]
+        assert draws.count("cheap") > 450
+
+    def test_empty_q_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoltzmannExplorer(seed=0).select({}, sweep=0)
+
+
+class TestEpsilonGreedyExplorer:
+    def test_epsilon_decays_to_floor(self):
+        explorer = EpsilonGreedyExplorer(
+            epsilon_initial=1.0, decay=0.5, floor=0.1, seed=0
+        )
+        assert explorer.epsilon(0) == 1.0
+        assert explorer.epsilon(10) == pytest.approx(0.1)
+
+    def test_greedy_when_epsilon_zero_floor(self):
+        explorer = EpsilonGreedyExplorer(
+            epsilon_initial=0.0, floor=0.0, seed=0
+        )
+        draws = {
+            explorer.select({"a": 1.0, "b": 2.0}, sweep=5)
+            for _ in range(20)
+        }
+        assert draws == {"a"}
+
+    def test_fully_random_when_epsilon_one(self):
+        explorer = EpsilonGreedyExplorer(
+            epsilon_initial=1.0, decay=1.0, floor=1.0, seed=0
+        )
+        draws = {
+            explorer.select({"a": 1.0, "b": 2.0}, sweep=0)
+            for _ in range(100)
+        }
+        assert draws == {"a", "b"}
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EpsilonGreedyExplorer(epsilon_initial=2.0)
+        with pytest.raises(ConfigurationError):
+            EpsilonGreedyExplorer(decay=0.0)

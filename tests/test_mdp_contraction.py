@@ -1,0 +1,94 @@
+"""Tests for proper-policy checks."""
+
+from repro.mdp.contraction import is_proper_policy, max_episode_length_bound
+from repro.mdp.model import FiniteMDP, Transition
+
+
+def build(transitions, terminals=("t",)):
+    return FiniteMDP(transitions, terminal_states=terminals)
+
+
+class TestIsProperPolicy:
+    def test_direct_exit_is_proper(self):
+        mdp = build({"s": {"a": [Transition(1.0, 1.0, "t")]}})
+        assert is_proper_policy(mdp, {"s": "a"})
+
+    def test_probabilistic_exit_is_proper(self):
+        mdp = build(
+            {
+                "s": {
+                    "a": [
+                        Transition(0.01, 1.0, "t"),
+                        Transition(0.99, 1.0, "s"),
+                    ]
+                }
+            }
+        )
+        assert is_proper_policy(mdp, {"s": "a"})
+
+    def test_pure_loop_is_improper(self):
+        mdp = build(
+            {
+                "s": {
+                    "loop": [Transition(1.0, 1.0, "s")],
+                    "exit": [Transition(1.0, 1.0, "t")],
+                }
+            }
+        )
+        assert not is_proper_policy(mdp, {"s": "loop"})
+        assert is_proper_policy(mdp, {"s": "exit"})
+
+    def test_two_state_cycle_improper(self):
+        mdp = build(
+            {
+                "a": {
+                    "go": [Transition(1.0, 1.0, "b")],
+                    "exit": [Transition(1.0, 1.0, "t")],
+                },
+                "b": {"back": [Transition(1.0, 1.0, "a")]},
+            }
+        )
+        assert not is_proper_policy(mdp, {"a": "go", "b": "back"})
+        assert is_proper_policy(mdp, {"a": "exit", "b": "back"})
+
+    def test_missing_policy_entry_is_improper(self):
+        mdp = build({"s": {"a": [Transition(1.0, 1.0, "t")]}})
+        assert not is_proper_policy(mdp, {})
+
+
+class TestEpisodeLengthBound:
+    def test_dag_bound(self):
+        mdp = build(
+            {
+                "a": {"go": [Transition(1.0, 1.0, "b")]},
+                "b": {"go": [Transition(1.0, 1.0, "t")]},
+            }
+        )
+        assert max_episode_length_bound(mdp) == 2
+
+    def test_cycle_reports_minus_one(self):
+        mdp = build(
+            {
+                "a": {"go": [Transition(1.0, 1.0, "b")]},
+                "b": {"back": [Transition(1.0, 1.0, "a")]},
+            },
+            terminals=(),
+        )
+        assert max_episode_length_bound(mdp) == -1
+
+    def test_self_loop_with_positive_probability_counts_as_cycle(self):
+        mdp = build(
+            {
+                "s": {
+                    "a": [
+                        Transition(0.5, 1.0, "s"),
+                        Transition(0.5, 1.0, "t"),
+                    ]
+                }
+            }
+        )
+        assert max_episode_length_bound(mdp) == -1
+
+    def test_terminal_only(self):
+        mdp = build({}, terminals=("t",))
+        assert max_episode_length_bound(mdp) == 0

@@ -1,0 +1,111 @@
+"""Tests for the empirical belief MDP and model-based policy."""
+
+import pytest
+
+from helpers import ladder_processes
+from repro.actions import default_catalog
+from repro.errors import EvaluationError, UnhandledStateError
+from repro.mdp.empirical import EmpiricalMDPPolicy, EmpiricalRecoveryMDP
+from repro.mdp.state import RecoveryState
+
+CATALOG = default_catalog()
+
+
+def hard_processes():
+    return ladder_processes(
+        "error:Hard",
+        [
+            (["TRYNOP", "REBOOT", "REBOOT", "REIMAGE"], 30),
+            (["TRYNOP", "REBOOT"], 3),
+        ],
+        realistic_durations=True,
+    )
+
+
+def soft_processes():
+    return ladder_processes(
+        "error:Soft",
+        [(["TRYNOP"], 20), (["TRYNOP", "REBOOT"], 10)],
+        realistic_durations=True,
+    )
+
+
+class TestEstimation:
+    def test_initial_success_probabilities_match_data(self):
+        model = EmpiricalRecoveryMDP.estimate(
+            "error:Soft", soft_processes(), CATALOG
+        )
+        outcomes = model.mdp.outcomes((), "TRYNOP")
+        success = [o for o in outcomes if o.next_state == "<healthy>"]
+        assert success[0].probability == pytest.approx(20 / 30)
+
+    def test_reboot_covers_everything_in_soft_type(self):
+        model = EmpiricalRecoveryMDP.estimate(
+            "error:Soft", soft_processes(), CATALOG
+        )
+        outcomes = model.mdp.outcomes((), "REBOOT")
+        assert len(outcomes) == 1
+        assert outcomes[0].next_state == "<healthy>"
+
+    def test_states_are_canonical_multisets(self):
+        model = EmpiricalRecoveryMDP.estimate(
+            "error:Hard", hard_processes(), CATALOG
+        )
+        for state in model.mdp.states:
+            assert list(state) == sorted(state)
+
+    def test_empty_processes_rejected(self):
+        with pytest.raises(EvaluationError):
+            EmpiricalRecoveryMDP.estimate("error:X", [], CATALOG)
+
+    def test_solve_finds_reimage_jump(self):
+        model = EmpiricalRecoveryMDP.estimate(
+            "error:Hard", hard_processes(), CATALOG
+        )
+        policy, value = model.solve()
+        assert policy[()] == "REIMAGE"
+        assert value > 0
+
+    def test_solve_watches_first_for_soft_type(self):
+        model = EmpiricalRecoveryMDP.estimate(
+            "error:Soft", soft_processes(), CATALOG
+        )
+        policy, _value = model.solve()
+        assert policy[()] == "TRYNOP"
+
+
+class TestEmpiricalMDPPolicy:
+    @pytest.fixture
+    def policy(self):
+        return EmpiricalMDPPolicy.fit(
+            {
+                "error:Hard": hard_processes(),
+                "error:Soft": soft_processes(),
+            },
+            CATALOG,
+        )
+
+    def test_decides_per_type(self, policy):
+        assert policy.decide(
+            RecoveryState.initial("error:Hard")
+        ).action == "REIMAGE"
+        assert policy.decide(
+            RecoveryState.initial("error:Soft")
+        ).action == "TRYNOP"
+
+    def test_canonicalizes_history_order(self, policy):
+        a = RecoveryState("error:Hard", tried=("TRYNOP", "REBOOT"))
+        b = RecoveryState("error:Hard", tried=("REBOOT", "TRYNOP"))
+        assert policy.decide(a).action == policy.decide(b).action
+
+    def test_unknown_type_unhandled(self, policy):
+        with pytest.raises(UnhandledStateError):
+            policy.decide(RecoveryState.initial("error:Ghost"))
+
+    def test_beats_user_ladder_on_hard_type(self, policy):
+        from repro.evaluation.evaluator import PolicyEvaluator
+
+        processes = hard_processes()
+        evaluator = PolicyEvaluator(processes, CATALOG)
+        result = evaluator.evaluate(policy)
+        assert result.overall_relative_cost < 0.8

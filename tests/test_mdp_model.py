@@ -1,0 +1,86 @@
+"""Tests for the generic finite MDP."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mdp.model import FiniteMDP, Transition
+
+
+def two_state_mdp(p=0.5, cost_a=1.0, cost_b=10.0):
+    """s0 --a--> (p: done, 1-p: s0) ; s0 --b--> done always."""
+    return FiniteMDP(
+        {
+            "s0": {
+                "a": [
+                    Transition(p, cost_a, "done"),
+                    Transition(1 - p, cost_a, "s0"),
+                ],
+                "b": [Transition(1.0, cost_b, "done")],
+            }
+        },
+        terminal_states=["done"],
+    )
+
+
+class TestConstruction:
+    def test_valid_model(self):
+        mdp = two_state_mdp()
+        assert set(mdp.states) == {"s0"}
+        assert mdp.is_terminal("done")
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError, match="sum"):
+            FiniteMDP(
+                {"s": {"a": [Transition(0.5, 1.0, "t")]}},
+                terminal_states=["t"],
+            )
+
+    def test_unknown_next_state_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown state"):
+            FiniteMDP(
+                {"s": {"a": [Transition(1.0, 1.0, "nowhere")]}},
+                terminal_states=["t"],
+            )
+
+    def test_terminal_with_transitions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FiniteMDP(
+                {"t": {"a": [Transition(1.0, 1.0, "t")]}},
+                terminal_states=["t"],
+            )
+
+    def test_state_without_actions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FiniteMDP({"s": {}}, terminal_states=[])
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Transition(1.5, 1.0, "t")
+
+
+class TestQueries:
+    def test_actions(self):
+        mdp = two_state_mdp()
+        assert set(mdp.actions("s0")) == {"a", "b"}
+        assert mdp.actions("done") == ()
+
+    def test_outcomes(self):
+        mdp = two_state_mdp(p=0.3)
+        outcomes = mdp.outcomes("s0", "a")
+        assert sum(t.probability for t in outcomes) == pytest.approx(1.0)
+
+    def test_expected_cost(self):
+        mdp = two_state_mdp(cost_a=2.0)
+        assert mdp.expected_cost("s0", "a") == pytest.approx(2.0)
+
+    def test_successor_states_deduplicated(self):
+        mdp = two_state_mdp()
+        assert set(mdp.successor_states("s0", "a")) == {"done", "s0"}
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(ConfigurationError):
+            two_state_mdp().actions("mystery")
+
+    def test_unknown_action_raises(self):
+        with pytest.raises(ConfigurationError):
+            two_state_mdp().outcomes("s0", "zz")

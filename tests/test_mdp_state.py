@@ -1,0 +1,87 @@
+"""Tests for the recovery MDP state."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mdp.state import RecoveryState
+
+
+class TestConstruction:
+    def test_initial_state(self):
+        state = RecoveryState.initial("error:X")
+        assert state.error_type == "error:X"
+        assert not state.healthy
+        assert state.tried == ()
+        assert not state.is_terminal
+
+    def test_empty_error_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryState.initial("")
+
+    def test_healthy_requires_an_action(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryState("error:X", healthy=True, tried=())
+
+    def test_hashable_and_equal_by_value(self):
+        a = RecoveryState("error:X", tried=("TRYNOP",))
+        b = RecoveryState("error:X", tried=("TRYNOP",))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestTransitions:
+    def test_after_failure_extends_history(self):
+        state = RecoveryState.initial("error:X")
+        nxt = state.after("TRYNOP", healthy=False)
+        assert nxt.tried == ("TRYNOP",)
+        assert not nxt.is_terminal
+        assert nxt.attempt_count == 1
+
+    def test_after_success_is_terminal(self):
+        state = RecoveryState.initial("error:X")
+        nxt = state.after("REBOOT", healthy=True)
+        assert nxt.is_terminal
+        assert nxt.tried == ("REBOOT",)
+
+    def test_terminal_cannot_act(self):
+        terminal = RecoveryState.initial("error:X").after("RMA", True)
+        with pytest.raises(ConfigurationError):
+            terminal.after("TRYNOP", False)
+
+    def test_after_preserves_original(self):
+        state = RecoveryState.initial("error:X")
+        state.after("TRYNOP", False)
+        assert state.tried == ()
+
+    def test_empty_action_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryState.initial("error:X").after("", False)
+
+    def test_order_matters_for_identity(self):
+        a = RecoveryState("error:X", tried=("A", "B"))
+        b = RecoveryState("error:X", tried=("B", "A"))
+        assert a != b
+
+
+class TestViews:
+    def test_last_action(self):
+        state = RecoveryState("error:X", tried=("A", "B"))
+        assert state.last_action == "B"
+
+    def test_last_action_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryState.initial("error:X").last_action
+
+    def test_tried_counts(self):
+        state = RecoveryState("error:X", tried=("A", "B", "A"))
+        assert state.tried_counts() == {"A": 2, "B": 1}
+
+    def test_key_round_trip(self):
+        state = RecoveryState("error:X", tried=("A",))
+        assert state.key() == ("error:X", False, ("A",))
+
+    def test_str_representation(self):
+        state = RecoveryState("error:X", tried=("A",))
+        assert "error:X" in str(state)
+        assert "A" in str(state)

@@ -1,0 +1,98 @@
+"""Tests for value iteration and derived policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mdp.model import FiniteMDP, Transition
+from repro.mdp.value_iteration import (
+    greedy_policy_from_values,
+    q_values_from_values,
+    value_iteration,
+)
+
+
+def retry_mdp(p=0.5, cost_retry=1.0, cost_giveup=10.0):
+    """Retry (cost 1, success p) or give up (cost 10, certain)."""
+    return FiniteMDP(
+        {
+            "s": {
+                "retry": [
+                    Transition(p, cost_retry, "done"),
+                    Transition(1 - p, cost_retry, "s"),
+                ],
+                "giveup": [Transition(1.0, cost_giveup, "done")],
+            }
+        },
+        terminal_states=["done"],
+    )
+
+
+class TestValueIteration:
+    def test_geometric_retry_value(self):
+        # V = min(cost/p, giveup) = min(2, 10) = 2 for p = 0.5.
+        result = value_iteration(retry_mdp(p=0.5))
+        assert result.converged
+        assert result.values["s"] == pytest.approx(2.0, abs=1e-6)
+
+    def test_giveup_preferred_when_retry_hopeless(self):
+        result = value_iteration(retry_mdp(p=0.05))
+        # cost/p = 20 > 10, so giving up wins.
+        assert result.values["s"] == pytest.approx(10.0, abs=1e-6)
+
+    def test_terminal_value_is_zero(self):
+        result = value_iteration(retry_mdp())
+        assert result.values["done"] == 0.0
+
+    def test_discounting(self):
+        # With discount < 1 the fixed point V = c + d*(1-p)*V.
+        result = value_iteration(retry_mdp(p=0.5), discount=0.9)
+        expected = 1.0 / (1.0 - 0.9 * 0.5)
+        assert result.values["s"] == pytest.approx(
+            min(expected, 10.0), abs=1e-6
+        )
+
+    def test_chain_of_states(self):
+        mdp = FiniteMDP(
+            {
+                "a": {"go": [Transition(1.0, 1.0, "b")]},
+                "b": {"go": [Transition(1.0, 2.0, "t")]},
+            },
+            terminal_states=["t"],
+        )
+        result = value_iteration(mdp)
+        assert result.values["a"] == pytest.approx(3.0)
+
+    def test_improper_model_reports_non_convergence(self):
+        # Single action loops forever with positive cost: V diverges.
+        mdp = FiniteMDP(
+            {"s": {"loop": [Transition(1.0, 1.0, "s")]}},
+            terminal_states=[],
+        )
+        result = value_iteration(mdp, max_iterations=500)
+        assert not result.converged
+
+    def test_bad_discount_rejected(self):
+        with pytest.raises(ConfigurationError):
+            value_iteration(retry_mdp(), discount=0.0)
+
+
+class TestDerivedPolicies:
+    def test_q_values_consistent_with_v(self):
+        mdp = retry_mdp(p=0.5)
+        result = value_iteration(mdp)
+        q = q_values_from_values(mdp, result.values)
+        assert min(
+            q[("s", "retry")], q[("s", "giveup")]
+        ) == pytest.approx(result.values["s"], abs=1e-6)
+
+    def test_greedy_policy_picks_retry_when_cheap(self):
+        mdp = retry_mdp(p=0.5)
+        result = value_iteration(mdp)
+        policy = greedy_policy_from_values(mdp, result.values)
+        assert policy["s"] == "retry"
+
+    def test_greedy_policy_picks_giveup_when_hopeless(self):
+        mdp = retry_mdp(p=0.01)
+        result = value_iteration(mdp)
+        policy = greedy_policy_from_values(mdp, result.values)
+        assert policy["s"] == "giveup"

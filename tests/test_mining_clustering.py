@@ -1,0 +1,127 @@
+"""Tests for symptom clustering and the Figure 3 coverage curve."""
+
+import pytest
+
+from helpers import make_process
+from repro.mining.clustering import SymptomClustering, coverage_curve
+from repro.mining.dependence import SymptomCooccurrence
+
+
+def processes_two_faults(cross=0):
+    """Two disjoint symptom families, plus ``cross`` mixed processes."""
+    processes = []
+    for i in range(10):
+        processes.append(
+            make_process(
+                ["TRYNOP"],
+                machine=f"a-{i}",
+                error_type="error:A",
+                extra_symptoms=["warn:A1"],
+                start=i * 10_000.0,
+            )
+        )
+    for i in range(10):
+        processes.append(
+            make_process(
+                ["REBOOT"],
+                machine=f"b-{i}",
+                error_type="error:B",
+                extra_symptoms=["warn:B1"],
+                start=i * 10_000.0,
+            )
+        )
+    for i in range(cross):
+        processes.append(
+            make_process(
+                ["RMA"],
+                machine=f"x-{i}",
+                error_type="error:A",
+                extra_symptoms=["error:B"],
+                start=i * 10_000.0,
+            )
+        )
+    return processes
+
+
+class TestClustering:
+    def test_disjoint_families_form_two_clusters(self):
+        clustering = SymptomClustering.from_processes(
+            processes_two_faults(), minp=0.5
+        )
+        assert clustering.cluster_count() == 2
+
+    def test_cluster_membership(self):
+        clustering = SymptomClustering.from_processes(
+            processes_two_faults(), minp=0.5
+        )
+        assert clustering.cluster_of("error:A") == clustering.cluster_of(
+            "warn:A1"
+        )
+        assert clustering.cluster_of("error:A") != clustering.cluster_of(
+            "error:B"
+        )
+
+    def test_unknown_symptom_has_no_cluster(self):
+        clustering = SymptomClustering.from_processes(
+            processes_two_faults(), minp=0.5
+        )
+        assert clustering.cluster_of("warn:unknown") is None
+
+    def test_cohesion_check(self):
+        clustering = SymptomClustering.from_processes(
+            processes_two_faults(), minp=0.5
+        )
+        assert clustering.is_cohesive({"error:A", "warn:A1"})
+        assert not clustering.is_cohesive({"error:A", "error:B"})
+        assert not clustering.is_cohesive({"error:A", "warn:unknown"})
+        assert not clustering.is_cohesive([])
+
+    def test_mixed_process_not_covered(self):
+        processes = processes_two_faults(cross=1)
+        clustering = SymptomClustering.from_processes(processes, minp=0.5)
+        mixed = processes[-1]
+        assert not clustering.covers(mixed)
+
+    def test_coverage_fraction(self):
+        processes = processes_two_faults(cross=2)
+        clustering = SymptomClustering.from_processes(processes, minp=0.5)
+        assert clustering.coverage(processes) == pytest.approx(20 / 22)
+
+    def test_high_minp_splits_weak_links(self):
+        # warn:A1 co-occurs with error:A in every process, but error:A
+        # also appears alone, so the dependence from error:A's side is
+        # 10/10 = 1.0 only if every error:A process contains warn:A1.
+        processes = processes_two_faults()
+        processes.append(
+            make_process(
+                ["TRYNOP"],
+                machine="a-solo",
+                error_type="error:A",
+                start=999_999.0,
+            )
+        )
+        tight = SymptomClustering.from_processes(processes, minp=0.95)
+        assert tight.cluster_of("error:A") != tight.cluster_of("warn:A1")
+
+    def test_coverage_of_empty_ensemble(self):
+        clustering = SymptomClustering.from_processes(
+            processes_two_faults(), minp=0.5
+        )
+        assert clustering.coverage([]) == 1.0
+
+
+class TestCoverageCurve:
+    def test_curve_is_monotone_nonincreasing(self, small_processes):
+        curve = coverage_curve(
+            small_processes, minps=(0.1, 0.3, 0.5, 0.7, 0.9)
+        )
+        values = [curve[m] for m in sorted(curve)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_curve_keys_match_request(self, small_processes):
+        curve = coverage_curve(small_processes, minps=(0.2, 0.4))
+        assert set(curve) == {0.2, 0.4}
+
+    def test_values_are_fractions(self, small_processes):
+        curve = coverage_curve(small_processes, minps=(0.1, 1.0))
+        assert all(0.0 <= v <= 1.0 for v in curve.values())

@@ -1,0 +1,71 @@
+"""Tests for symptom co-occurrence counting."""
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining.dependence import SymptomCooccurrence
+
+
+@pytest.fixture
+def cooc():
+    transactions = [
+        frozenset({"a", "b"}),
+        frozenset({"a", "b", "c"}),
+        frozenset({"a"}),
+        frozenset({"c"}),
+    ]
+    return SymptomCooccurrence.from_transactions(transactions)
+
+
+class TestCounts:
+    def test_transaction_count(self, cooc):
+        assert cooc.transaction_count == 4
+
+    def test_item_counts(self, cooc):
+        assert cooc.count("a") == 3
+        assert cooc.count("c") == 2
+        assert cooc.count("missing") == 0
+
+    def test_pair_counts_symmetric(self, cooc):
+        assert cooc.pair_count("a", "b") == 2
+        assert cooc.pair_count("b", "a") == 2
+
+    def test_pair_count_self_is_item_count(self, cooc):
+        assert cooc.pair_count("a", "a") == 3
+
+    def test_support(self, cooc):
+        assert cooc.support("a") == pytest.approx(0.75)
+
+    def test_items_sorted(self, cooc):
+        assert cooc.items == ("a", "b", "c")
+
+
+class TestDependence:
+    def test_dependence_given(self, cooc):
+        assert cooc.dependence_given("b", "a") == pytest.approx(1.0)
+        assert cooc.dependence_given("a", "b") == pytest.approx(2 / 3)
+
+    def test_pair_dependence_is_minimum(self, cooc):
+        assert cooc.pair_dependence("a", "b") == pytest.approx(2 / 3)
+
+    def test_unknown_item_raises(self, cooc):
+        with pytest.raises(MiningError):
+            cooc.dependence_given("missing", "a")
+
+    def test_dependent_pairs_thresholding(self, cooc):
+        pairs_low = set(cooc.dependent_pairs(0.3))
+        pairs_high = set(cooc.dependent_pairs(0.9))
+        assert ("a", "b") in pairs_low
+        assert ("a", "b") not in pairs_high
+
+    def test_dependent_pairs_subset_property(self, cooc):
+        # Raising minp can only shrink the pair set.
+        low = set(cooc.dependent_pairs(0.2))
+        high = set(cooc.dependent_pairs(0.6))
+        assert high <= low
+
+    def test_empty_transactions(self):
+        cooc = SymptomCooccurrence.from_transactions([])
+        assert cooc.transaction_count == 0
+        assert cooc.support("x") == 0.0
+        assert cooc.dependent_pairs(0.5) == []

@@ -1,0 +1,73 @@
+"""Tests for mining-based noise filtering."""
+
+import pytest
+
+from helpers import make_process
+from repro.mining.noise import filter_noise
+
+
+def build_ensemble(noisy=2):
+    processes = []
+    for i in range(20):
+        processes.append(
+            make_process(
+                ["TRYNOP"],
+                machine=f"a-{i}",
+                error_type="error:A",
+                extra_symptoms=["warn:A1"],
+                start=i * 5_000.0,
+            )
+        )
+        processes.append(
+            make_process(
+                ["REBOOT"],
+                machine=f"b-{i}",
+                error_type="error:B",
+                start=i * 5_000.0,
+            )
+        )
+    for i in range(noisy):
+        processes.append(
+            make_process(
+                ["RMA"],
+                machine=f"x-{i}",
+                error_type="error:A",
+                extra_symptoms=["error:B"],
+                start=i * 5_000.0,
+            )
+        )
+    return processes
+
+
+class TestFilterNoise:
+    def test_partitions_clean_and_noisy(self):
+        result = filter_noise(build_ensemble(noisy=2), minp=0.5)
+        assert len(result.noisy) == 2
+        assert len(result.clean) == 40
+
+    def test_noise_fraction(self):
+        result = filter_noise(build_ensemble(noisy=2), minp=0.5)
+        assert result.noise_fraction == pytest.approx(2 / 42)
+
+    def test_no_noise(self):
+        result = filter_noise(build_ensemble(noisy=0), minp=0.5)
+        assert result.noisy == ()
+        assert result.noise_fraction == 0.0
+
+    def test_empty_input(self):
+        result = filter_noise([], minp=0.5)
+        assert result.noise_fraction == 0.0
+
+    def test_clustering_attached(self):
+        result = filter_noise(build_ensemble(), minp=0.5)
+        assert result.clustering.cluster_count() >= 2
+
+    def test_generated_trace_noise_fraction_near_target(self, small_processes):
+        result = filter_noise(small_processes)
+        # The small workload injects ~4% overlapping faults.
+        assert 0.0 <= result.noise_fraction < 0.12
+
+    def test_noisy_plus_clean_is_input(self):
+        ensemble = build_ensemble(noisy=3)
+        result = filter_noise(ensemble, minp=0.5)
+        assert len(result.noisy) + len(result.clean) == len(ensemble)

@@ -1,0 +1,97 @@
+"""Hypothesis property tests over the simulation platform.
+
+Random ladder-shaped recovery-process ensembles are generated, and the
+platform's structural invariants are checked: self-replay exactness,
+termination under arbitrary proper policies, and cost positivity.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import make_process
+from repro.actions import default_catalog
+from repro.policies import (
+    AlwaysCheapestPolicy,
+    AlwaysStrongestPolicy,
+    RandomPolicy,
+    UserDefinedPolicy,
+)
+from repro.simplatform.platform import SimulationPlatform
+
+CATALOG = default_catalog()
+LADDER = ["TRYNOP", "REBOOT", "REBOOT", "REIMAGE", "RMA"]
+
+
+@st.composite
+def ladder_ensemble(draw):
+    """A set of processes with ladder prefixes of random depth."""
+    depths = draw(
+        st.lists(st.integers(min_value=1, max_value=5), min_size=1,
+                 max_size=12)
+    )
+    step = draw(st.sampled_from([300.0, 900.0, 3600.0]))
+    return [
+        make_process(
+            LADDER[:depth],
+            machine=f"m-{i:03d}",
+            start=i * 100_000.0,
+            step=step,
+        )
+        for i, depth in enumerate(depths)
+    ]
+
+
+class TestPlatformProperties:
+    @given(processes=ladder_ensemble())
+    @settings(max_examples=40, deadline=None)
+    def test_self_replay_is_exact(self, processes):
+        platform = SimulationPlatform(processes, CATALOG)
+        policy = UserDefinedPolicy(CATALOG)
+        for process in processes:
+            result = platform.replay(process, policy)
+            assert result.handled
+            assert result.cost == pytest.approx(result.real_cost)
+            assert result.actions == process.actions
+
+    @given(processes=ladder_ensemble(), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_replay_terminates_under_any_policy(self, processes, seed):
+        platform = SimulationPlatform(processes, CATALOG, max_actions=8)
+        policies = [
+            RandomPolicy(CATALOG, seed=seed),
+            AlwaysCheapestPolicy(CATALOG),
+            AlwaysStrongestPolicy(CATALOG),
+        ]
+        for policy in policies:
+            for process in processes:
+                result = platform.replay(process, policy)
+                assert result.handled
+                assert len(result.actions) <= 8 + len(process.actions)
+                assert result.cost > 0
+
+    @given(processes=ladder_ensemble())
+    @settings(max_examples=30, deadline=None)
+    def test_strongest_policy_executes_until_covered(self, processes):
+        """Always-strongest replays are all-RMA and stop exactly when the
+        required multiset is covered (one RMA per required occurrence)."""
+        from repro.simplatform.hypotheses import required_strengths
+
+        platform = SimulationPlatform(processes, CATALOG)
+        policy = AlwaysStrongestPolicy(CATALOG)
+        for process in processes:
+            result = platform.replay(process, policy)
+            assert result.handled
+            assert set(result.actions) == {"RMA"}
+            required = required_strengths(process, CATALOG)
+            assert len(result.actions) == max(1, len(required))
+
+    @given(processes=ladder_ensemble())
+    @settings(max_examples=30, deadline=None)
+    def test_replay_is_deterministic(self, processes):
+        platform = SimulationPlatform(processes, CATALOG)
+        policy = UserDefinedPolicy(CATALOG)
+        for process in processes[:3]:
+            first = platform.replay(process, policy)
+            second = platform.replay(process, policy)
+            assert first == second

@@ -1,0 +1,117 @@
+"""Tests for data-driven initial-policy design (index rule)."""
+
+import pytest
+
+from helpers import ladder_processes
+from repro.actions import default_catalog
+from repro.errors import EvaluationError, UnhandledStateError
+from repro.mdp.state import RecoveryState
+from repro.policies.index_policy import action_indices, design_index_policy
+
+CATALOG = default_catalog()
+
+
+def hard_processes():
+    return ladder_processes(
+        "error:Hard",
+        [
+            (["TRYNOP", "REBOOT", "REBOOT", "REIMAGE"], 30),
+            (["TRYNOP", "REBOOT"], 2),
+        ],
+        realistic_durations=True,
+    )
+
+
+def soft_processes():
+    return ladder_processes(
+        "error:Soft",
+        [(["TRYNOP"], 20), (["TRYNOP", "REBOOT"], 10)],
+        realistic_durations=True,
+    )
+
+
+class TestActionIndices:
+    def test_probabilities_from_required_sets(self):
+        indices = action_indices("error:Soft", soft_processes(), CATALOG)
+        # 20 of 30 processes are cured by one TRYNOP.
+        assert indices["TRYNOP"][0] == pytest.approx(20 / 30)
+        # REBOOT covers both {T} and {R} -> probability 1.
+        assert indices["REBOOT"][0] == pytest.approx(1.0)
+
+    def test_hopeless_action_gets_infinite_index(self):
+        indices = action_indices("error:Hard", hard_processes(), CATALOG)
+        assert indices["TRYNOP"][2] == float("inf")
+
+    def test_index_is_cost_over_probability(self):
+        indices = action_indices("error:Soft", soft_processes(), CATALOG)
+        probability, cost, index = indices["REBOOT"]
+        assert index == pytest.approx(cost / probability)
+
+    def test_empty_processes_rejected(self):
+        with pytest.raises(EvaluationError):
+            action_indices("error:X", [], CATALOG)
+
+
+class TestDesignIndexPolicy:
+    @pytest.fixture
+    def policy(self):
+        return design_index_policy(
+            {"error:Hard": hard_processes(), "error:Soft": soft_processes()},
+            CATALOG,
+        )
+
+    def test_jumps_to_reimage_for_hard_type(self, policy):
+        assert (
+            policy.decide(RecoveryState.initial("error:Hard")).action
+            == "REIMAGE"
+        )
+
+    def test_watches_first_for_soft_type(self, policy):
+        assert (
+            policy.decide(RecoveryState.initial("error:Soft")).action
+            == "TRYNOP"
+        )
+
+    def test_chains_are_monotone(self, policy):
+        for error_type in ("error:Hard", "error:Soft"):
+            state = RecoveryState.initial(error_type)
+            strengths = []
+            for _ in range(6):
+                action = policy.decide(state).action
+                strengths.append(CATALOG[action].strength)
+                state = state.after(action, False)
+            assert strengths == sorted(strengths)
+
+    def test_chain_ends_in_manual(self, policy):
+        state = RecoveryState.initial("error:Hard")
+        for _ in range(18):
+            action = policy.decide(state).action
+            state = state.after(action, False)
+        assert action == "RMA"
+
+    def test_unknown_type_unhandled(self, policy):
+        with pytest.raises(UnhandledStateError):
+            policy.decide(RecoveryState.initial("error:Ghost"))
+
+    def test_label(self, policy):
+        assert policy.name == "index-designed"
+
+    def test_beats_ladder_on_hard_type(self, policy):
+        from repro.evaluation.evaluator import PolicyEvaluator
+
+        evaluator = PolicyEvaluator(hard_processes(), CATALOG)
+        result = evaluator.evaluate(policy)
+        assert result.overall_relative_cost < 0.85
+
+    def test_matches_ladder_cost_on_soft_type(self, policy):
+        from repro.evaluation.evaluator import PolicyEvaluator
+
+        evaluator = PolicyEvaluator(soft_processes(), CATALOG)
+        result = evaluator.evaluate(policy)
+        assert result.overall_relative_cost == pytest.approx(1.0, abs=0.1)
+
+    def test_empty_type_skipped(self):
+        policy = design_index_policy(
+            {"error:Soft": soft_processes(), "error:Empty": []}, CATALOG
+        )
+        assert policy.error_types() == ("error:Soft",)

@@ -1,0 +1,94 @@
+"""Tests for static baseline policies."""
+
+import pytest
+
+from repro.actions import default_catalog
+from repro.errors import ConfigurationError
+from repro.mdp.state import RecoveryState
+from repro.policies.static import (
+    AlwaysCheapestPolicy,
+    AlwaysStrongestPolicy,
+    FixedSequencePolicy,
+    RandomPolicy,
+)
+
+CATALOG = default_catalog()
+S0 = RecoveryState.initial("error:X")
+
+
+def chain(policy, steps):
+    state = S0
+    actions = []
+    for _ in range(steps):
+        action = policy.decide(state).action
+        actions.append(action)
+        state = state.after(action, False)
+    return actions
+
+
+class TestAlwaysCheapest:
+    def test_retries_then_escalates(self):
+        policy = AlwaysCheapestPolicy(CATALOG, max_attempts_per_action=2)
+        assert chain(policy, 7) == [
+            "TRYNOP",
+            "TRYNOP",
+            "REBOOT",
+            "REBOOT",
+            "REIMAGE",
+            "REIMAGE",
+            "RMA",
+        ]
+
+    def test_manual_unbounded(self):
+        policy = AlwaysCheapestPolicy(CATALOG, max_attempts_per_action=1)
+        assert chain(policy, 6)[3:] == ["RMA", "RMA", "RMA"]
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AlwaysCheapestPolicy(CATALOG, max_attempts_per_action=0)
+
+    def test_terminal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AlwaysCheapestPolicy(CATALOG).decide(
+                RecoveryState("error:X", True, ("RMA",))
+            )
+
+
+class TestAlwaysStrongest:
+    def test_goes_straight_to_manual(self):
+        assert chain(AlwaysStrongestPolicy(CATALOG), 2) == ["RMA", "RMA"]
+
+
+class TestRandomPolicy:
+    def test_seeded_reproducibility(self):
+        a = chain(RandomPolicy(CATALOG, seed=4), 10)
+        b = chain(RandomPolicy(CATALOG, seed=4), 10)
+        assert a == b
+
+    def test_covers_all_actions_eventually(self):
+        policy = RandomPolicy(CATALOG, seed=0)
+        assert set(chain(policy, 60)) == set(CATALOG.names())
+
+
+class TestFixedSequence:
+    def test_follows_sequence_then_repeats_final(self):
+        policy = FixedSequencePolicy(["REIMAGE", "RMA"], CATALOG)
+        assert chain(policy, 4) == ["REIMAGE", "RMA", "RMA", "RMA"]
+
+    def test_final_action_must_be_manual(self):
+        with pytest.raises(ConfigurationError):
+            FixedSequencePolicy(["TRYNOP", "REBOOT"], CATALOG)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedSequencePolicy([], CATALOG)
+
+    def test_unknown_action_rejected(self):
+        from repro.errors import UnknownActionError
+
+        with pytest.raises(UnknownActionError):
+            FixedSequencePolicy(["FSCK", "RMA"], CATALOG)
+
+    def test_name_describes_sequence(self):
+        policy = FixedSequencePolicy(["REIMAGE", "RMA"], CATALOG)
+        assert "REIMAGE" in policy.name

@@ -1,0 +1,93 @@
+"""Tests for the user-defined cheapest-first ladder policy."""
+
+import pytest
+
+from repro.actions import default_catalog
+from repro.errors import ConfigurationError
+from repro.mdp.state import RecoveryState
+from repro.policies.user_defined import DEFAULT_RETRY_BUDGETS, UserDefinedPolicy
+
+CATALOG = default_catalog()
+
+
+def walk(policy, error_type="error:X", steps=8):
+    """The action chain the policy follows while everything fails."""
+    state = RecoveryState.initial(error_type)
+    chain = []
+    for _ in range(steps):
+        action = policy.decide(state).action
+        chain.append(action)
+        state = state.after(action, healthy=False)
+    return chain
+
+
+class TestLadder:
+    def test_default_escalation_order(self):
+        policy = UserDefinedPolicy(CATALOG)
+        assert walk(policy, steps=5) == [
+            "TRYNOP",
+            "REBOOT",
+            "REBOOT",
+            "REIMAGE",
+            "RMA",
+        ]
+
+    def test_manual_repeats_forever(self):
+        policy = UserDefinedPolicy(CATALOG)
+        chain = walk(policy, steps=8)
+        assert chain[4:] == ["RMA"] * 4
+
+    def test_custom_budgets(self):
+        policy = UserDefinedPolicy(
+            CATALOG, retry_budgets={"TRYNOP": 2, "REBOOT": 1, "REIMAGE": 1}
+        )
+        assert walk(policy, steps=5) == [
+            "TRYNOP",
+            "TRYNOP",
+            "REBOOT",
+            "REIMAGE",
+            "RMA",
+        ]
+
+    def test_zero_budget_skips_action(self):
+        policy = UserDefinedPolicy(
+            CATALOG, retry_budgets={"TRYNOP": 0, "REBOOT": 1, "REIMAGE": 1}
+        )
+        assert walk(policy, steps=3) == ["REBOOT", "REIMAGE", "RMA"]
+
+    def test_missing_budget_defaults_to_one(self):
+        policy = UserDefinedPolicy(CATALOG, retry_budgets={})
+        assert walk(policy, steps=4) == [
+            "TRYNOP",
+            "REBOOT",
+            "REIMAGE",
+            "RMA",
+        ]
+
+    def test_decision_source_labelled(self):
+        policy = UserDefinedPolicy(CATALOG)
+        decision = policy.decide(RecoveryState.initial("error:X"))
+        assert decision.source == "user-defined"
+
+    def test_budget_for_manual_is_unbounded(self):
+        policy = UserDefinedPolicy(CATALOG)
+        assert policy.budget_for("RMA") > 10**6
+        assert policy.budget_for("REBOOT") == DEFAULT_RETRY_BUDGETS["REBOOT"]
+
+    def test_terminal_state_rejected(self):
+        policy = UserDefinedPolicy(CATALOG)
+        terminal = RecoveryState("error:X", True, ("RMA",))
+        with pytest.raises(ConfigurationError):
+            policy.decide(terminal)
+
+    def test_unknown_budget_action_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UserDefinedPolicy(CATALOG, retry_budgets={"FSCK": 1})
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UserDefinedPolicy(CATALOG, retry_budgets={"TRYNOP": -1})
+
+    def test_statelessness_across_types(self):
+        policy = UserDefinedPolicy(CATALOG)
+        assert walk(policy, "error:A", 2) == walk(policy, "error:B", 2)

@@ -1,0 +1,65 @@
+"""Tests for repro.recoverylog.entry."""
+
+import pytest
+
+from repro.errors import LogFormatError
+from repro.recoverylog.entry import EntryKind, LogEntry
+
+
+class TestConstruction:
+    def test_symptom_factory(self):
+        entry = LogEntry.symptom(1.0, "m-1", "error:Disk")
+        assert entry.kind is EntryKind.SYMPTOM
+        assert entry.is_symptom and not entry.is_action
+
+    def test_action_factory(self):
+        entry = LogEntry.action(2.0, "m-1", "REBOOT")
+        assert entry.is_action
+
+    def test_success_factory(self):
+        entry = LogEntry.success(3.0, "m-1")
+        assert entry.is_success
+        assert entry.description == "Success"
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(LogFormatError):
+            LogEntry.symptom(-1.0, "m", "error:X")
+
+    def test_empty_machine_rejected(self):
+        with pytest.raises(LogFormatError):
+            LogEntry.symptom(0.0, "", "error:X")
+
+    def test_empty_description_rejected(self):
+        with pytest.raises(LogFormatError):
+            LogEntry(0.0, "m", EntryKind.SYMPTOM, "")
+
+    def test_success_with_wrong_description_rejected(self):
+        with pytest.raises(LogFormatError):
+            LogEntry(0.0, "m", EntryKind.SUCCESS, "done")
+
+
+class TestOrdering:
+    def test_time_order(self):
+        early = LogEntry.symptom(1.0, "m", "error:X")
+        late = LogEntry.symptom(2.0, "m", "error:X")
+        assert early < late
+
+    def test_tie_break_by_machine(self):
+        a = LogEntry.symptom(1.0, "m-a", "error:X")
+        b = LogEntry.symptom(1.0, "m-b", "error:X")
+        assert a < b
+
+    def test_sorting_is_stable_global_order(self):
+        entries = [
+            LogEntry.success(5.0, "m"),
+            LogEntry.symptom(1.0, "m", "error:X"),
+            LogEntry.action(3.0, "m", "REBOOT"),
+        ]
+        times = [e.time for e in sorted(entries)]
+        assert times == [1.0, 3.0, 5.0]
+
+
+class TestRender:
+    def test_render_wallclock_format(self):
+        entry = LogEntry.action(3 * 3600 + 7 * 60 + 12, "m-1", "TRYNOP")
+        assert entry.render() == "3:07:12 am\tTRYNOP"

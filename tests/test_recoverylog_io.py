@@ -1,0 +1,105 @@
+"""Tests for repro.recoverylog.io: round trips and error reporting."""
+
+import pytest
+
+from helpers import make_log, make_process
+from repro.errors import LogFormatError
+from repro.recoverylog.entry import EntryKind, LogEntry
+from repro.recoverylog.io import (
+    read_log_jsonl,
+    read_log_text,
+    write_log_jsonl,
+    write_log_text,
+)
+
+
+@pytest.fixture
+def sample_log():
+    return make_log(
+        [
+            make_process(
+                ["TRYNOP", "REBOOT"],
+                machine="m-a",
+                extra_symptoms=["warn:Mem"],
+            ),
+            make_process(["RMA"], machine="m-b", start=50_000.0),
+        ]
+    )
+
+
+class TestTextFormat:
+    def test_round_trip(self, tmp_path, sample_log):
+        path = tmp_path / "log.tsv"
+        count = write_log_text(sample_log, path)
+        assert count == len(sample_log)
+        loaded = read_log_text(path)
+        assert loaded == sample_log
+
+    def test_kind_inference(self, tmp_path, sample_log):
+        path = tmp_path / "log.tsv"
+        write_log_text(sample_log, path)
+        loaded = read_log_text(path)
+        kinds = {e.description: e.kind for e in loaded}
+        assert kinds["TRYNOP"] is EntryKind.ACTION
+        assert kinds["warn:Mem"] is EntryKind.SYMPTOM
+        assert kinds["Success"] is EntryKind.SUCCESS
+
+    def test_custom_action_names(self, tmp_path):
+        path = tmp_path / "log.tsv"
+        entries = [
+            LogEntry.symptom(0.0, "m", "error:X"),
+            LogEntry.action(1.0, "m", "FSCK"),
+            LogEntry.success(2.0, "m"),
+        ]
+        write_log_text(entries, path)
+        loaded = read_log_text(path, action_names={"FSCK"})
+        assert loaded[1].is_action
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1.0\tm-only-two\n")
+        with pytest.raises(LogFormatError, match="3 tab-separated"):
+            read_log_text(path)
+
+    def test_bad_timestamp(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("notatime\tm\terror:X\n")
+        with pytest.raises(LogFormatError, match="bad timestamp"):
+            read_log_text(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "log.tsv"
+        path.write_text("\n1.000\tm\terror:X\n\n")
+        assert len(read_log_text(path)) == 1
+
+
+class TestJsonlFormat:
+    def test_round_trip(self, tmp_path, sample_log):
+        path = tmp_path / "log.jsonl"
+        count = write_log_jsonl(sample_log, path)
+        assert count == len(sample_log)
+        assert read_log_jsonl(path) == sample_log
+
+    def test_explicit_kinds_survive(self, tmp_path):
+        # A symptom whose text collides with an action name still parses
+        # as a symptom in JSONL (unlike the ambiguous text format).
+        weird = [
+            LogEntry.symptom(0.0, "m", "REBOOT"),
+            LogEntry.success(1.0, "m"),
+        ]
+        path = tmp_path / "log.jsonl"
+        write_log_jsonl(weird, path)
+        loaded = read_log_jsonl(path)
+        assert loaded[0].is_symptom
+
+    def test_bad_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time": 1.0\n')
+        with pytest.raises(LogFormatError, match="bad JSON"):
+            read_log_jsonl(path)
+
+    def test_missing_field_reports_record(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time": 1.0, "machine": "m"}\n')
+        with pytest.raises(LogFormatError, match="bad record"):
+            read_log_jsonl(path)

@@ -1,0 +1,74 @@
+"""Tests for repro.recoverylog.stats."""
+
+import pytest
+
+from helpers import ladder_processes, make_process
+from repro.recoverylog.stats import compute_statistics
+
+
+@pytest.fixture
+def mixed_processes():
+    return ladder_processes(
+        "error:A", [(["TRYNOP"], 6), (["TRYNOP", "REBOOT"], 2)]
+    ) + ladder_processes(
+        "error:B", [(["REIMAGE"], 2)], machine_prefix="n"
+    )
+
+
+class TestComputeStatistics:
+    def test_process_count(self, mixed_processes):
+        stats = compute_statistics(mixed_processes)
+        assert stats.process_count == 10
+
+    def test_counts_by_type(self, mixed_processes):
+        stats = compute_statistics(mixed_processes)
+        assert stats.counts_by_type == {"error:A": 8, "error:B": 2}
+
+    def test_downtime_accumulates(self, mixed_processes):
+        stats = compute_statistics(mixed_processes)
+        # 6 single-action (660s) + 2 two-action (1260s) processes.
+        assert stats.downtime_by_type["error:A"] == pytest.approx(
+            6 * 660.0 + 2 * 1260.0
+        )
+
+    def test_action_counts(self, mixed_processes):
+        stats = compute_statistics(mixed_processes)
+        assert stats.action_counts == {
+            "TRYNOP": 8,
+            "REBOOT": 2,
+            "REIMAGE": 2,
+        }
+
+    def test_mean_downtime(self, mixed_processes):
+        stats = compute_statistics(mixed_processes)
+        assert stats.mean_downtime == pytest.approx(
+            stats.total_downtime / 10
+        )
+
+    def test_error_types_ranked_by_count(self, mixed_processes):
+        stats = compute_statistics(mixed_processes)
+        assert stats.error_types == ("error:A", "error:B")
+
+    def test_rank_tie_breaks_by_name(self):
+        processes = ladder_processes(
+            "error:B", [(["TRYNOP"], 3)]
+        ) + ladder_processes("error:A", [(["TRYNOP"], 3)], machine_prefix="n")
+        stats = compute_statistics(processes)
+        assert stats.error_types == ("error:A", "error:B")
+
+    def test_top_types_and_coverage(self, mixed_processes):
+        stats = compute_statistics(mixed_processes)
+        assert stats.top_types(1) == ("error:A",)
+        assert stats.coverage_of_top(1) == pytest.approx(0.8)
+        assert stats.coverage_of_top(2) == pytest.approx(1.0)
+
+    def test_mean_downtime_by_type(self, mixed_processes):
+        stats = compute_statistics(mixed_processes)
+        means = stats.mean_downtime_by_type()
+        assert means["error:B"] == pytest.approx(660.0)
+
+    def test_empty_ensemble(self):
+        stats = compute_statistics([])
+        assert stats.process_count == 0
+        assert stats.mean_downtime == 0.0
+        assert stats.coverage_of_top(5) == 1.0

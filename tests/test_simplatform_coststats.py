@@ -1,0 +1,103 @@
+"""Tests for cost statistics with shrinkage."""
+
+import pytest
+
+from helpers import ladder_processes, make_process
+from repro.actions import default_catalog
+from repro.errors import SimulationError
+from repro.simplatform.coststats import CostStatistics
+
+CATALOG = default_catalog()
+
+
+class TestBasicAverages:
+    def test_success_cost_from_data(self):
+        processes = ladder_processes(
+            "error:A", [(["REBOOT"], 10)], step=500.0
+        )
+        stats = CostStatistics.from_processes(
+            processes, CATALOG, shrinkage=0.0
+        )
+        assert stats.success_cost("error:A", "REBOOT") == pytest.approx(500.0)
+
+    def test_failure_cost_from_data(self):
+        processes = ladder_processes(
+            "error:A", [(["TRYNOP", "REBOOT"], 10)], step=700.0
+        )
+        stats = CostStatistics.from_processes(
+            processes, CATALOG, shrinkage=0.0
+        )
+        assert stats.failure_cost("error:A", "TRYNOP") == pytest.approx(700.0)
+
+    def test_initial_delay_from_data(self):
+        processes = ladder_processes("error:A", [(["REBOOT"], 4)])
+        stats = CostStatistics.from_processes(processes, CATALOG)
+        assert stats.initial_delay("error:A") == pytest.approx(60.0)
+
+    def test_initial_delay_global_fallback(self):
+        processes = ladder_processes("error:A", [(["REBOOT"], 4)])
+        stats = CostStatistics.from_processes(processes, CATALOG)
+        assert stats.initial_delay("error:unseen") == pytest.approx(60.0)
+
+    def test_nominal_fallback_when_action_unseen(self):
+        processes = ladder_processes("error:A", [(["REBOOT"], 4)])
+        stats = CostStatistics.from_processes(processes, CATALOG)
+        assert stats.success_cost("error:A", "RMA") == pytest.approx(
+            CATALOG["RMA"].cost_model.mean
+        )
+
+    def test_observed_pairs(self):
+        processes = ladder_processes("error:A", [(["TRYNOP", "REBOOT"], 2)])
+        stats = CostStatistics.from_processes(processes, CATALOG)
+        assert ("error:A", "TRYNOP") in stats.observed_pairs()
+        assert ("error:A", "REBOOT") in stats.observed_pairs()
+
+
+class TestShrinkage:
+    def _stats(self, shrinkage):
+        # error:A has many REBOOT successes at 1000s; error:B has one at
+        # 5000s.  Shrinkage pulls B's estimate toward the global mean.
+        processes = ladder_processes(
+            "error:A", [(["REBOOT"], 20)], step=1000.0
+        ) + ladder_processes(
+            "error:B", [(["REBOOT"], 1)], machine_prefix="n", step=5000.0
+        )
+        return CostStatistics.from_processes(
+            processes, CATALOG, shrinkage=shrinkage
+        )
+
+    def test_zero_shrinkage_uses_raw_local_mean(self):
+        stats = self._stats(0.0)
+        assert stats.success_cost("error:B", "REBOOT") == pytest.approx(5000.0)
+
+    def test_shrinkage_pulls_sparse_types_toward_global(self):
+        stats = self._stats(5.0)
+        estimate = stats.success_cost("error:B", "REBOOT")
+        global_mean = (20 * 1000.0 + 5000.0) / 21
+        assert global_mean < estimate < 5000.0
+
+    def test_well_observed_types_barely_move(self):
+        raw = self._stats(0.0).success_cost("error:A", "REBOOT")
+        shrunk = self._stats(5.0).success_cost("error:A", "REBOOT")
+        assert abs(shrunk - raw) / raw < 0.25
+
+    def test_negative_shrinkage_rejected(self):
+        with pytest.raises(SimulationError):
+            CostStatistics(CATALOG, shrinkage=-1.0)
+
+
+class TestZeroActionProcesses:
+    def test_self_healed_process_contributes_nothing(self):
+        # A process with no actions (symptom then success) is legal input.
+        from repro.recoverylog.entry import LogEntry
+        from repro.recoverylog.process import RecoveryProcess
+
+        process = RecoveryProcess(
+            "m",
+            (
+                LogEntry.symptom(0.0, "m", "error:A"),
+                LogEntry.success(100.0, "m"),
+            ),
+        )
+        stats = CostStatistics.from_processes([process], CATALOG)
+        assert stats.observed_pairs() == ()

@@ -1,0 +1,144 @@
+"""Tests for required-action semantics, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import make_process
+from repro.actions import default_catalog
+from repro.simplatform.hypotheses import (
+    covers,
+    required_actions,
+    required_strengths,
+)
+
+CATALOG = default_catalog()
+
+
+class TestRequiredActions:
+    def test_single_action_process(self):
+        process = make_process(["REBOOT"])
+        assert required_actions(process, CATALOG) == ("REBOOT",)
+
+    def test_ladder_requires_only_last(self):
+        process = make_process(["TRYNOP", "REBOOT", "REIMAGE"])
+        assert required_actions(process, CATALOG) == ("REIMAGE",)
+
+    def test_equal_strength_repeats_all_required(self):
+        process = make_process(["TRYNOP", "REBOOT", "REBOOT"])
+        assert required_actions(process, CATALOG) == ("REBOOT", "REBOOT")
+
+    def test_stronger_predecessors_included(self):
+        # Non-monotone log sequence: REIMAGE failed, TRYNOP cured.
+        process = make_process(["REIMAGE", "TRYNOP"])
+        assert required_actions(process, CATALOG) == ("REIMAGE", "TRYNOP")
+
+    def test_last_action_only_ablation(self):
+        process = make_process(["TRYNOP", "REBOOT", "REBOOT"])
+        assert required_actions(
+            process, CATALOG, last_action_only=True
+        ) == ("REBOOT",)
+
+    def test_strengths_descending(self):
+        process = make_process(["REIMAGE", "TRYNOP"])
+        assert required_strengths(process, CATALOG) == (2, 0)
+
+
+class TestCovers:
+    def test_empty_required_always_covered(self):
+        assert covers((), ())
+        assert covers((), (3,))
+
+    def test_exact_match(self):
+        assert covers((1,), (1,))
+
+    def test_stronger_replaces_weaker(self):
+        assert covers((1,), (2,))
+
+    def test_weaker_insufficient(self):
+        assert not covers((2,), (1,))
+
+    def test_multiplicity_enforced(self):
+        assert not covers((1, 1), (3,))
+        assert covers((1, 1), (3, 1))
+
+    def test_mixed_strengths_greedy_matching(self):
+        # required {2, 1}; executed {2, 1} covers; {1, 1} does not.
+        assert covers((2, 1), (1, 2))
+        assert not covers((2, 1), (1, 1))
+
+    def test_extra_executed_harmless(self):
+        assert covers((1,), (0, 0, 1, 0))
+
+
+strength = st.integers(min_value=0, max_value=3)
+multiset = st.lists(strength, min_size=0, max_size=6)
+
+
+class TestCoversProperties:
+    @given(required=multiset, executed=multiset)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_bruteforce_matching(self, required, executed):
+        """Greedy coverage equals exhaustive bipartite matching."""
+        import itertools
+
+        def brute(req, exe):
+            if len(exe) < len(req):
+                return False
+            for perm in itertools.permutations(exe, len(req)):
+                if all(e >= r for r, e in zip(req, perm)):
+                    return True
+            return not req
+
+        assert covers(required, executed) == brute(required, executed)
+
+    @given(required=multiset, executed=multiset, extra=strength)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_executed(self, required, executed, extra):
+        """Adding an executed action never breaks coverage."""
+        if covers(required, executed):
+            assert covers(required, executed + [extra])
+
+    @given(required=multiset, executed=multiset)
+    @settings(max_examples=200, deadline=None)
+    def test_strengthening_executed_preserves_coverage(
+        self, required, executed
+    ):
+        if covers(required, executed):
+            assert covers(required, [e + 1 for e in executed])
+
+    @given(required=multiset)
+    @settings(max_examples=100, deadline=None)
+    def test_required_covers_itself(self, required):
+        assert covers(required, list(required))
+
+    @given(required=multiset, executed=multiset, extra=strength)
+    @settings(max_examples=200, deadline=None)
+    def test_antitone_in_required(self, required, executed, extra):
+        """Adding a requirement never creates coverage."""
+        if not covers(required, executed):
+            assert not covers(required + [extra], executed)
+
+
+class TestSelfConsistency:
+    """Replaying a process's own actions succeeds exactly at its end."""
+
+    @pytest.mark.parametrize(
+        "sequence",
+        [
+            ["TRYNOP"],
+            ["TRYNOP", "REBOOT"],
+            ["TRYNOP", "REBOOT", "REBOOT"],
+            ["TRYNOP", "REBOOT", "REBOOT", "REIMAGE"],
+            ["TRYNOP", "REBOOT", "REBOOT", "REIMAGE", "RMA"],
+        ],
+    )
+    def test_own_prefixes_never_cover_early(self, sequence):
+        process = make_process(sequence)
+        required = required_strengths(process, CATALOG)
+        strengths = [CATALOG[a].strength for a in sequence]
+        for cut in range(1, len(sequence)):
+            assert not covers(required, strengths[:cut]), (
+                f"prefix of length {cut} covered {sequence}"
+            )
+        assert covers(required, strengths)

@@ -1,0 +1,176 @@
+"""Tests for the simulation platform's step and replay semantics."""
+
+import pytest
+
+from helpers import ladder_processes, make_process
+from repro.actions import default_catalog
+from repro.errors import SimulationError, UnhandledStateError
+from repro.mdp.state import RecoveryState
+from repro.policies import (
+    AlwaysStrongestPolicy,
+    FixedSequencePolicy,
+    TrainedPolicy,
+    UserDefinedPolicy,
+)
+from repro.simplatform.platform import CostMode, SimulationPlatform
+
+CATALOG = default_catalog()
+
+
+def platform_for(processes, **kwargs):
+    return SimulationPlatform(processes, CATALOG, **kwargs)
+
+
+class TestStep:
+    def test_matching_action_uses_actual_cost(self):
+        process = make_process(["TRYNOP", "REBOOT"], step=600.0)
+        platform = platform_for([process])
+        state = RecoveryState.initial("error:X")
+        outcome = platform.step(process, state, "TRYNOP")
+        assert outcome.matched_log
+        assert not outcome.succeeded
+        assert outcome.cost == pytest.approx(600.0)
+
+    def test_success_at_final_matching_action(self):
+        process = make_process(["TRYNOP", "REBOOT"], step=600.0)
+        platform = platform_for([process])
+        state = RecoveryState("error:X", tried=("TRYNOP",))
+        outcome = platform.step(process, state, "REBOOT")
+        assert outcome.succeeded
+        assert outcome.matched_log
+        assert outcome.next_state.is_terminal
+
+    def test_stronger_action_covers_early(self):
+        process = make_process(["TRYNOP", "REBOOT"])
+        platform = platform_for([process])
+        state = RecoveryState.initial("error:X")
+        outcome = platform.step(process, state, "REIMAGE")
+        assert outcome.succeeded
+        assert not outcome.matched_log
+
+    def test_non_matching_failure_uses_average(self):
+        processes = ladder_processes(
+            "error:X", [(["TRYNOP", "REBOOT"], 5)], step=700.0
+        )
+        platform = platform_for(processes)
+        state = RecoveryState.initial("error:X")
+        # REBOOT at position 0 does not match the logged TRYNOP, but it
+        # covers the required {REBOOT} -> success with averaged cost.
+        outcome = platform.step(processes[0], state, "REBOOT")
+        assert outcome.succeeded
+        assert outcome.cost == pytest.approx(700.0)
+
+    def test_averages_only_mode_never_matches(self):
+        process = make_process(["REBOOT"], step=600.0)
+        platform = platform_for([process], cost_mode=CostMode.AVERAGES_ONLY)
+        outcome = platform.step(
+            process, RecoveryState.initial("error:X"), "REBOOT"
+        )
+        assert outcome.succeeded
+        assert outcome.cost == pytest.approx(600.0)  # the (only) average
+
+    def test_terminal_state_rejected(self):
+        process = make_process(["REBOOT"])
+        platform = platform_for([process])
+        terminal = RecoveryState("error:X", True, ("REBOOT",))
+        with pytest.raises(SimulationError):
+            platform.step(process, terminal, "REBOOT")
+
+    def test_error_type_mismatch_rejected(self):
+        process = make_process(["REBOOT"], error_type="error:X")
+        platform = platform_for([process])
+        with pytest.raises(SimulationError, match="does not match"):
+            platform.step(
+                process, RecoveryState.initial("error:Y"), "REBOOT"
+            )
+
+
+class TestReplay:
+    def test_self_replay_is_exact(self):
+        process = make_process(
+            ["TRYNOP", "REBOOT", "REBOOT", "REIMAGE"], step=800.0
+        )
+        platform = platform_for([process])
+        result = platform.replay(process, UserDefinedPolicy(CATALOG))
+        assert result.handled
+        assert result.actions == process.actions
+        assert result.cost == pytest.approx(process.downtime)
+
+    def test_self_replay_exact_on_generated_trace(self, small_processes):
+        platform = SimulationPlatform(small_processes, CATALOG)
+        policy = UserDefinedPolicy(CATALOG)
+        for process in small_processes[:200]:
+            result = platform.replay(process, policy)
+            assert result.handled
+            assert result.cost == pytest.approx(result.real_cost)
+
+    def test_jump_policy_skips_prefix(self):
+        process = make_process(
+            ["TRYNOP", "REBOOT", "REBOOT", "REIMAGE"], step=800.0
+        )
+        platform = platform_for([process])
+        policy = FixedSequencePolicy(["REIMAGE", "RMA"], CATALOG)
+        result = platform.replay(process, policy)
+        assert result.handled
+        assert result.actions == ("REIMAGE",)
+        assert result.cost < result.real_cost
+
+    def test_unhandled_policy_reported(self):
+        process = make_process(["TRYNOP", "REBOOT"])
+        platform = platform_for([process])
+        empty = TrainedPolicy({}, label="empty")
+        result = platform.replay(process, empty)
+        assert not result.handled
+        assert result.real_cost == pytest.approx(process.downtime)
+
+    def test_action_cap_forces_manual(self):
+        process = make_process(["TRYNOP", "RMA"])
+        platform = platform_for([process], max_actions=3)
+        # A policy that would watch forever gets cut off by the cap.
+        stuck = TrainedPolicy(
+            {
+                RecoveryState.initial("error:X"): ("TRYNOP", 0.0),
+                RecoveryState("error:X", tried=("TRYNOP",)): ("TRYNOP", 0.0),
+                RecoveryState(
+                    "error:X", tried=("TRYNOP", "TRYNOP")
+                ): ("TRYNOP", 0.0),
+            },
+            label="stuck",
+        )
+        result = platform.replay(process, stuck)
+        assert result.handled
+        assert result.forced_manual
+        assert result.actions[-1] == "RMA"
+        assert len(result.actions) <= 3
+
+    def test_self_healed_process_charges_real_downtime(self):
+        from repro.recoverylog.entry import LogEntry
+        from repro.recoverylog.process import RecoveryProcess
+
+        process = RecoveryProcess(
+            "m",
+            (
+                LogEntry.symptom(0.0, "m", "error:X"),
+                LogEntry.success(50.0, "m"),
+            ),
+        )
+        platform = platform_for([process])
+        result = platform.replay(process, AlwaysStrongestPolicy(CATALOG))
+        assert result.handled
+        assert result.cost == pytest.approx(50.0)
+        assert result.actions == ()
+
+    def test_initial_cost_actual_vs_average(self):
+        processes = ladder_processes(
+            "error:X", [(["REBOOT"], 4)]
+        )
+        actual = platform_for(processes)
+        averaged = platform_for(
+            processes, cost_mode=CostMode.AVERAGES_ONLY
+        )
+        assert actual.initial_cost(processes[0]) == pytest.approx(60.0)
+        assert averaged.initial_cost(processes[0]) == pytest.approx(60.0)
+
+    def test_bad_max_actions_rejected(self):
+        with pytest.raises(Exception):
+            platform_for([make_process(["REBOOT"])], max_actions=1)

@@ -1,0 +1,64 @@
+"""Tests for the Figure 7 platform validation."""
+
+import pytest
+
+from repro.actions import default_catalog
+from repro.errors import ConfigurationError
+from repro.errortypes.registry import ErrorTypeRegistry
+from repro.mining.noise import filter_noise
+from repro.policies import UserDefinedPolicy
+from repro.simplatform.validation import validate_platform
+
+CATALOG = default_catalog()
+
+
+@pytest.fixture(scope="module")
+def report_and_registry(small_trace):
+    clean = filter_noise(small_trace.log.to_processes()).clean
+    registry = ErrorTypeRegistry.from_processes(clean).top(10)
+    report = validate_platform(
+        clean,
+        UserDefinedPolicy(CATALOG),
+        CATALOG,
+        error_types=registry.names,
+    )
+    return report, registry
+
+
+class TestValidatePlatform:
+    def test_all_requested_types_reported(self, report_and_registry):
+        report, registry = report_and_registry
+        assert set(report.relative_cost) == set(registry.names)
+
+    def test_ratios_reasonably_close_to_one(self, report_and_registry):
+        report, _ = report_and_registry
+        # Small trace -> wide tolerance; the default benchmark scale is
+        # checked in the benchmark suite with tighter bounds.
+        assert report.mean_deviation < 0.25
+
+    def test_max_deviation_consistent(self, report_and_registry):
+        report, _ = report_and_registry
+        deviations = [abs(r - 1) for r in report.relative_cost.values()]
+        assert report.max_deviation == pytest.approx(max(deviations))
+
+    def test_underestimated_types_listed(self, report_and_registry):
+        report, _ = report_and_registry
+        for error_type in report.underestimated_types:
+            assert report.relative_cost[error_type] < 1.0
+
+    def test_render_orders_by_rank(self, report_and_registry):
+        report, registry = report_and_registry
+        text = report.render({i.name: i.rank for i in registry})
+        assert "Figure 7" in text
+        lines = text.splitlines()[2:]
+        ranks = [int(line.split("|")[0]) for line in lines[1:]]
+        assert ranks == sorted(ranks)
+
+    def test_empty_error_types_rejected(self, small_processes):
+        with pytest.raises(ConfigurationError):
+            validate_platform(
+                small_processes,
+                UserDefinedPolicy(CATALOG),
+                CATALOG,
+                error_types=[],
+            )

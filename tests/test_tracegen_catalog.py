@@ -1,0 +1,88 @@
+"""Tests for synthetic fault-catalog generation."""
+
+import numpy as np
+import pytest
+
+from repro.actions import default_catalog
+from repro.cluster.faults import validate_fault_catalog
+from repro.errors import ConfigurationError
+from repro.tracegen.catalog_gen import (
+    CatalogSpec,
+    FaultProfile,
+    generate_fault_catalog,
+    profile_of,
+)
+
+
+class TestCatalogSpec:
+    def test_defaults_valid(self):
+        CatalogSpec()
+
+    def test_profile_mix_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            CatalogSpec(profile_mix=(0.5, 0.5, 0.5, 0.0))
+
+    def test_reimage_rank_bounds(self):
+        with pytest.raises(ConfigurationError):
+            CatalogSpec(fault_count=10, reimage_ranks=(10,))
+
+    def test_bad_secondary_range(self):
+        with pytest.raises(ConfigurationError):
+            CatalogSpec(secondary_symptom_range=(3, 1))
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return generate_fault_catalog(CatalogSpec(), seed=11)
+
+    def test_fault_count(self, catalog):
+        assert len(catalog) == 97
+
+    def test_deterministic_for_seed(self):
+        a = generate_fault_catalog(CatalogSpec(), seed=5)
+        b = generate_fault_catalog(CatalogSpec(), seed=5)
+        assert [f.primary_symptom for f in a] == [
+            f.primary_symptom for f in b
+        ]
+        assert [f.cure_probabilities for f in a] == [
+            f.cure_probabilities for f in b
+        ]
+
+    def test_passes_hypothesis_validation(self, catalog):
+        validate_fault_catalog(catalog, default_catalog())
+
+    def test_primary_symptoms_unique(self, catalog):
+        primaries = [f.primary_symptom for f in catalog]
+        assert len(set(primaries)) == len(primaries)
+
+    def test_pinned_ranks_are_reimage_needing(self, catalog):
+        faults = catalog.fault_types
+        for rank in (0, 34, 38):
+            assert profile_of(faults[rank]) is FaultProfile.REIMAGE_NEEDING
+
+    def test_no_hardware_in_hot_ranks(self, catalog):
+        for fault in catalog.fault_types[:20]:
+            assert profile_of(fault) is not FaultProfile.HARDWARE
+
+    def test_head_coverage_matches_spec(self, catalog):
+        probabilities = np.array(
+            [f.weight for f in catalog.fault_types], dtype=float
+        )
+        probabilities /= probabilities.sum()
+        head = probabilities[:40].sum()
+        assert abs(head - 0.9868) < 0.01
+
+    def test_head_decay_ratio(self, catalog):
+        weights = [f.weight for f in catalog.fault_types]
+        assert weights[0] / weights[39] == pytest.approx(30.0, rel=0.01)
+
+    def test_tail_is_uniform(self, catalog):
+        tail = {f.weight for f in catalog.fault_types[40:]}
+        assert len(tail) == 1
+
+    def test_small_fault_count_supported(self):
+        catalog = generate_fault_catalog(
+            CatalogSpec(fault_count=8, reimage_ranks=(0,)), seed=3
+        )
+        assert len(catalog) == 8

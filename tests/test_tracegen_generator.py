@@ -1,0 +1,72 @@
+"""Tests for end-to-end trace generation and calibration."""
+
+import pytest
+
+from repro.tracegen.calibration import PAPER_TARGETS, calibrate
+from repro.tracegen.generator import generate_trace
+from repro.tracegen.workload import (
+    default_config,
+    paper_scale_config,
+    small_config,
+)
+
+
+class TestTraceGeneration:
+    def test_trace_carries_provenance(self, small_trace):
+        assert small_trace.policy_name == "user-defined"
+        assert len(small_trace.fault_catalog) == 12
+
+    def test_reproducible_for_seed(self):
+        a = generate_trace(small_config(seed=21))
+        b = generate_trace(small_config(seed=21))
+        assert a.log == b.log
+
+    def test_processes_well_formed(self, small_processes):
+        assert len(small_processes) > 50
+        for process in small_processes:
+            assert process.downtime > 0
+            assert process.actions
+
+    def test_error_types_come_from_catalog(self, small_trace, small_processes):
+        primaries = {
+            f.primary_symptom for f in small_trace.fault_catalog
+        }
+        observed = {p.error_type for p in small_processes}
+        assert observed <= primaries
+
+
+class TestCalibration:
+    def test_report_fields(self, small_processes):
+        report = calibrate(small_processes)
+        assert report.process_count == len(small_processes)
+        assert report.error_type_count <= 12
+        assert report.total_downtime > 0
+
+    def test_default_scale_matches_paper_marginals(self):
+        trace = generate_trace(default_config(seed=7))
+        report = calibrate(trace.log.to_processes())
+        assert report.error_type_count >= 85
+        assert abs(report.top40_coverage - PAPER_TARGETS["top40_coverage"]) < 0.01
+        assert report.process_count > 5_000
+
+    def test_render_mentions_paper_targets(self, small_processes):
+        text = calibrate(small_processes).render()
+        assert "top-40 coverage" in text
+        assert "97" in text
+
+    def test_empty_ensemble(self):
+        report = calibrate([])
+        assert report.process_count == 0
+        assert report.median_type_count == 0.0
+
+
+class TestConfigs:
+    def test_paper_scale_is_larger(self):
+        small = default_config()
+        big = paper_scale_config()
+        assert (
+            big.cluster.machine_count > small.cluster.machine_count
+        )
+
+    def test_seed_threading(self):
+        assert default_config(seed=99).seed == 99

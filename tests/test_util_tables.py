@@ -1,0 +1,50 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert "33" in lines[3]
+        # All rows share a width.
+        assert len({len(line) for line in lines}) <= 2
+
+    def test_title_is_first_line(self):
+        text = render_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_floats_are_compacted(self):
+        text = render_table(["v"], [[1.23456789]])
+        assert "1.235" in text
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_union_of_x_values(self):
+        text = render_series(
+            {"s1": {1: 10}, "s2": {2: 20}}, x_label="rank"
+        )
+        assert "rank" in text
+        assert "-" in text  # missing point placeholder
+
+    def test_values_appear(self):
+        text = render_series({"cov": {0.1: 0.97, 0.2: 0.9}}, x_label="minp")
+        assert "0.97" in text
+
+    def test_sorted_x_order(self):
+        text = render_series({"s": {3: 1, 1: 2, 2: 3}})
+        lines = text.splitlines()
+        body = [line.split("|")[0].strip() for line in lines[2:]]
+        assert body == ["1", "2", "3"]

@@ -1,0 +1,40 @@
+"""Tests for repro.util.timefmt."""
+
+from repro.util.timefmt import format_duration, format_wallclock
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(45) == "45s"
+
+    def test_minutes(self):
+        assert format_duration(125) == "2m 5s"
+
+    def test_hours(self):
+        assert format_duration(3725) == "1h 2m 5s"
+
+    def test_days(self):
+        assert format_duration(90_000) == "1d 1h 0m 0s"
+
+    def test_negative(self):
+        assert format_duration(-61) == "-1m 1s"
+
+    def test_zero(self):
+        assert format_duration(0) == "0s"
+
+
+class TestFormatWallclock:
+    def test_morning(self):
+        assert format_wallclock(3 * 3600 + 7 * 60 + 12) == "3:07:12 am"
+
+    def test_midnight_renders_twelve(self):
+        assert format_wallclock(0) == "12:00:00 am"
+
+    def test_noon(self):
+        assert format_wallclock(12 * 3600) == "12:00:00 pm"
+
+    def test_afternoon(self):
+        assert format_wallclock(15 * 3600 + 30 * 60) == "3:30:00 pm"
+
+    def test_wraps_across_days(self):
+        assert format_wallclock(86_400 + 60) == "12:01:00 am"

@@ -1,0 +1,54 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3.5) == 3.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", -1)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", -0.001)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", value)
+
+
+class TestCheckFraction:
+    def test_accepts_interior(self):
+        assert check_fraction("f", 0.4) == 0.4
+
+    @pytest.mark.parametrize("value", [0.0, 1.0])
+    def test_rejects_endpoints(self, value):
+        with pytest.raises(ConfigurationError):
+            check_fraction("f", value)
