@@ -1,0 +1,106 @@
+"""Parallel training: serial-vs-pool speedup and exactness.
+
+The paper's per-type courses are independent, so sharding them over a
+process pool should scale with worker count while changing *nothing*
+about the result.  This benchmark trains the same synthetic log at 1, 2
+and 4 workers, reports wall-clock and speedup per worker count, and
+asserts (a) every run is bit-identical to the serial one and (b) — only
+on hosts with >= 4 cores, since speedup on an oversubscribed single
+core is meaningless — that 4 workers deliver at least a 2x speedup.
+"""
+
+import os
+import time
+
+from conftest import run_once
+from repro.core import PipelineConfig, RecoveryPolicyLearner
+from repro.learning.qlearning import QLearningConfig
+from repro.learning.selection_tree import SelectionTreeConfig
+from repro.tracegen.generator import generate_trace
+from repro.tracegen.workload import small_config
+from repro.util.tables import render_table
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _fit(processes, n_workers):
+    config = PipelineConfig(
+        top_k_types=8,
+        qlearning=QLearningConfig(max_sweeps=120, episodes_per_sweep=10),
+        tree=SelectionTreeConfig(min_sweeps=30, check_interval=15),
+        n_workers=n_workers,
+    )
+    return RecoveryPolicyLearner(config=config).fit(processes)
+
+
+def _qtable_snapshot(learner):
+    tables = learner.training_result_.qtables()
+    return {
+        error_type: {
+            (state, action): (
+                table.value(state, action),
+                table.visit_count(state, action),
+            )
+            for state in table.states()
+            for action in table.action_names
+        }
+        for error_type, table in tables.items()
+    }
+
+
+def test_parallel_scaling(benchmark):
+    processes = generate_trace(
+        small_config(seed=13, fault_count=40)
+    ).log.to_processes()
+
+    timings = {}
+    learners = {}
+
+    def sweep():
+        for n_workers in WORKER_COUNTS:
+            started = time.perf_counter()
+            learners[n_workers] = _fit(processes, n_workers)
+            timings[n_workers] = time.perf_counter() - started
+        return timings
+
+    run_once(benchmark, sweep)
+
+    serial_time = timings[1]
+    rows = [
+        (
+            n,
+            f"{timings[n]:.2f}",
+            f"{serial_time / timings[n]:.2f}x",
+        )
+        for n in WORKER_COUNTS
+    ]
+    print()
+    print(render_table(
+        ["workers", "wall-clock (s)", "speedup"], rows,
+        title=f"Parallel training scaling ({os.cpu_count()} cores, "
+              f"{len(processes):,} processes)",
+    ))
+
+    # Exactness: every worker count yields the serial policy, bit for bit.
+    serial = learners[1]
+    serial_tables = _qtable_snapshot(serial)
+    for n_workers in WORKER_COUNTS[1:]:
+        parallel = learners[n_workers]
+        assert parallel.rules_ == serial.rules_, (
+            f"n_workers={n_workers} changed the learned rules"
+        )
+        assert _qtable_snapshot(parallel) == serial_tables, (
+            f"n_workers={n_workers} changed the Q tables"
+        )
+
+    # Speedup: only meaningful with real cores to spread over.  On a
+    # single- or dual-core host the pool adds pure overhead, so the
+    # assertion is gated; the table above still reports the numbers.
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        assert serial_time / timings[4] >= 2.0, (
+            f"expected >= 2x speedup at 4 workers on {cores} cores, got "
+            f"{serial_time / timings[4]:.2f}x"
+        )
+    else:
+        print(f"speedup assertion skipped: only {cores} core(s)")

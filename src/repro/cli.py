@@ -4,6 +4,8 @@
     python -m repro inspect  --log cluster.jsonl
     python -m repro mine     --log cluster.jsonl
     python -m repro train    --log cluster.jsonl --fraction 0.4 --out policy.json
+    python -m repro train    --log cluster.jsonl --out policy.json \
+                             --workers 4 --checkpoint-dir ckpt/ --resume
     python -m repro evaluate --log cluster.jsonl --policy policy.json --fraction 0.4
     python -m repro experiment --figure fig9
 
@@ -97,6 +99,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="chronological fraction of the log to train on (1.0 = all)",
     )
     train.add_argument("--top-k", type=int, default=40)
+    train.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "processes to shard per-error-type training over "
+            "(results are identical for every worker count)"
+        ),
+    )
+    train.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="persist each finished type's course here (enables --resume)",
+    )
+    train.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "skip types already checkpointed in --checkpoint-dir by a "
+            "run with the same configuration"
+        ),
+    )
 
     evaluate = commands.add_parser(
         "evaluate",
@@ -176,21 +200,41 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.learning.telemetry import TelemetryRecorder
+
     log = _read_log(args.log)
     processes = log.to_processes()
     if 0.0 < args.fraction < 1.0:
         train_set, _test = time_ordered_split(processes, args.fraction)
     else:
         train_set = processes
+    recorder = TelemetryRecorder()
     learner = RecoveryPolicyLearner(
-        config=PipelineConfig(top_k_types=args.top_k)
+        config=PipelineConfig(
+            top_k_types=args.top_k,
+            n_workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+        ),
+        telemetry=recorder,
     ).fit(train_set)
     policy = learner.trained_policy()
     count = save_policy(policy, args.out)
     assert learner.training_result_ is not None
+    assert learner.outcomes_ is not None
     unconverged = learner.training_result_.unconverged_types()
-    print(f"trained {len(learner.training_result_.per_type)} error types "
-          f"on {len(train_set):,} processes")
+    resumed = sum(
+        1 for outcome in learner.outcomes_.values() if outcome.from_checkpoint
+    )
+    trained = len(learner.outcomes_) - resumed
+    print(f"trained {trained} error types on {len(train_set):,} processes "
+          f"(workers={args.workers})")
+    if resumed:
+        print(f"resumed {resumed} error types from checkpoints in "
+              f"{args.checkpoint_dir}")
+    if trained:
+        print(f"training: {recorder.total_episodes():,} episodes, "
+              f"{recorder.total_wall_clock():.1f} s aggregate worker time")
     print(f"saved {count} state-action rules to {args.out}")
     if unconverged:
         print(f"note: {len(unconverged)} training courses hit the sweep cap")

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.learning.qlearning import QLearningConfig
@@ -37,6 +38,18 @@ class PipelineConfig:
         The Q-learning hyper-parameters.
     tree:
         The selection-tree hyper-parameters.
+    n_workers:
+        Processes to shard per-type training courses across.  1 (the
+        default) trains inline; results are bit-identical for every
+        worker count because each type draws from its own
+        ``(seed, error_type)``-derived RNG stream.
+    checkpoint_dir:
+        When set, every finished type's course is persisted there and
+        :meth:`~repro.core.pipeline.RecoveryPolicyLearner.fit` can
+        resume an interrupted run.
+    resume:
+        Load matching checkpoints from ``checkpoint_dir`` instead of
+        retraining.  Requires ``checkpoint_dir``.
     """
 
     minp: float = 0.1
@@ -46,6 +59,9 @@ class PipelineConfig:
     use_selection_tree: bool = True
     qlearning: QLearningConfig = field(default_factory=QLearningConfig)
     tree: SelectionTreeConfig = field(default_factory=SelectionTreeConfig)
+    n_workers: int = 1
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 < self.minp <= 1.0:
@@ -57,4 +73,9 @@ class PipelineConfig:
         if self.max_actions < 2:
             raise ConfigurationError(
                 f"max_actions must be >= 2, got {self.max_actions}"
+            )
+        check_positive("n_workers", self.n_workers)
+        if self.resume and not self.checkpoint_dir:
+            raise ConfigurationError(
+                "resume=True requires checkpoint_dir to be set"
             )

@@ -21,18 +21,21 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple, Union
 
+from dataclasses import asdict
+
 from repro.actions.action import ActionCatalog, default_catalog
 from repro.core.config import PipelineConfig
 from repro.errors import NotTrainedError, TrainingError
 from repro.errortypes.registry import ErrorTypeRegistry
 from repro.evaluation.evaluator import PolicyEvaluator
-from repro.learning.extraction import extract_greedy_rules, merge_rules
+from repro.learning.checkpoint import CheckpointStore, training_fingerprint
+from repro.learning.extraction import merge_rules
+from repro.learning.parallel import ParallelTrainingEngine, TypeOutcome
 from repro.learning.qlearning import (
-    QLearningTrainer,
     TrainingResult,
     TypeTrainingResult,
 )
-from repro.learning.selection_tree import SelectionTreeExtractor
+from repro.learning.telemetry import TrainingTelemetry
 from repro.mining.noise import NoiseFilterResult, filter_noise
 from repro.policies.base import Policy
 from repro.policies.hybrid import HybridPolicy
@@ -55,7 +58,11 @@ class RecoveryPolicyLearner:
     catalog:
         Repair-action catalog; defaults to the paper's four actions.
     config:
-        Pipeline configuration.
+        Pipeline configuration (including ``n_workers`` /
+        ``checkpoint_dir`` / ``resume`` for the parallel engine).
+    telemetry:
+        Optional :class:`~repro.learning.telemetry.TrainingTelemetry`
+        observer for per-type training progress.
 
     Attributes (set by :meth:`fit`)
     -------------------------------
@@ -65,6 +72,9 @@ class RecoveryPolicyLearner:
         Error types actually trained (top-k by frequency).
     training_result_:
         Per-type Q-learning outcomes.
+    outcomes_:
+        Per-type engine outcomes (rules, wall-clock, checkpoint
+        provenance).
     rules_:
         The merged state-action rule table.
     """
@@ -74,6 +84,7 @@ class RecoveryPolicyLearner:
         catalog: Optional[ActionCatalog] = None,
         config: Optional[PipelineConfig] = None,
         baseline: Optional[Policy] = None,
+        telemetry: Optional[TrainingTelemetry] = None,
     ) -> None:
         self.catalog = catalog if catalog is not None else default_catalog()
         self.config = config if config is not None else PipelineConfig()
@@ -85,9 +96,11 @@ class RecoveryPolicyLearner:
             if baseline is not None
             else UserDefinedPolicy(self.catalog)
         )
+        self.telemetry = telemetry
         self.noise_result_: Optional[NoiseFilterResult] = None
         self.registry_: Optional[ErrorTypeRegistry] = None
         self.training_result_: Optional[TrainingResult] = None
+        self.outcomes_: Optional[Dict[str, TypeOutcome]] = None
         self.rules_ = None
         self._platform: Optional[SimulationPlatform] = None
 
@@ -98,11 +111,43 @@ class RecoveryPolicyLearner:
             return source.to_processes()
         return tuple(source)
 
+    def _make_checkpoint_store(self) -> Optional[CheckpointStore]:
+        """The configured checkpoint store, fingerprinted to this run.
+
+        The fingerprint covers every knob that shapes a type's course —
+        hyper-parameters, extraction mode, catalog, action cap and
+        baseline — so checkpoints from a differently configured run are
+        invalidated rather than silently mixed in.
+        """
+        if not self.config.checkpoint_dir:
+            return None
+        fingerprint = training_fingerprint(
+            {
+                "qlearning": asdict(self.config.qlearning),
+                "tree": (
+                    asdict(self.config.tree)
+                    if self.config.use_selection_tree
+                    else None
+                ),
+                "use_selection_tree": self.config.use_selection_tree,
+                "max_actions": self.config.max_actions,
+                "actions": list(self.catalog.names()),
+                "baseline": self.baseline.name,
+            }
+        )
+        return CheckpointStore(
+            self.config.checkpoint_dir,
+            fingerprint=fingerprint,
+            alpha_floor=self.config.qlearning.alpha_floor,
+        )
+
     def fit(self, source: ProcessSource) -> "RecoveryPolicyLearner":
         """Run mining, type induction and per-type Q-learning.
 
         ``source`` is a recovery log or its segmented processes — the
-        *training* portion of a time-ordered split.
+        *training* portion of a time-ordered split.  Training fans out
+        over ``config.n_workers`` processes; per-type RNG derivation
+        makes the fitted policies identical for every worker count.
         """
         processes = self._as_processes(source)
         if not processes:
@@ -117,42 +162,46 @@ class RecoveryPolicyLearner:
         self.registry_ = full_registry.top(self.config.top_k_types)
         groups = self.registry_.partition(clean)
 
-        self._platform = SimulationPlatform(
-            clean,
-            self.catalog,
-            max_actions=self.config.max_actions,
-        )
-        trainer = QLearningTrainer(self._platform, self.config.qlearning)
-
-        per_type: Dict[str, TypeTrainingResult] = {}
-        rule_tables = []
-        if self.config.use_selection_tree:
-            extractor = SelectionTreeExtractor(self._platform, self.config.tree)
-            for info in self.registry_:
-                type_processes = groups[info.name]
-                if len(type_processes) < self.config.min_processes_per_type:
-                    continue
-                outcome = extractor.train_type(
-                    trainer, info.name, type_processes, baseline=self.baseline
-                )
-                per_type[info.name] = outcome.training
-                rule_tables.append(outcome.rules)
-        else:
-            for info in self.registry_:
-                type_processes = groups[info.name]
-                if len(type_processes) < self.config.min_processes_per_type:
-                    continue
-                result = trainer.train_type(info.name, type_processes)
-                per_type[info.name] = result
-                rule_tables.append(extract_greedy_rules(result.qtable))
-
-        if not per_type:
+        trainable: Dict[str, Sequence[RecoveryProcess]] = {}
+        for info in self.registry_:
+            type_processes = groups[info.name]
+            if len(type_processes) < self.config.min_processes_per_type:
+                continue
+            trainable[info.name] = type_processes
+        if not trainable:
             raise TrainingError(
                 "no error type had enough training processes "
                 f"(min_processes_per_type={self.config.min_processes_per_type})"
             )
+
+        engine = ParallelTrainingEngine(
+            clean,
+            self.catalog,
+            qlearning=self.config.qlearning,
+            tree=(
+                self.config.tree if self.config.use_selection_tree else None
+            ),
+            baseline=(
+                self.baseline if self.config.use_selection_tree else None
+            ),
+            max_actions=self.config.max_actions,
+            n_workers=self.config.n_workers,
+            checkpoint=self._make_checkpoint_store(),
+            resume=self.config.resume,
+            telemetry=self.telemetry,
+        )
+        self._platform = engine.platform
+        outcomes = engine.train(trainable)
+
+        per_type: Dict[str, TypeTrainingResult] = {
+            error_type: outcome.training
+            for error_type, outcome in outcomes.items()
+        }
+        self.outcomes_ = outcomes
         self.training_result_ = TrainingResult(per_type=per_type)
-        self.rules_ = merge_rules(*rule_tables)
+        self.rules_ = merge_rules(
+            *(outcome.rules for outcome in outcomes.values())
+        )
         return self
 
     # ------------------------------------------------------------------

@@ -32,8 +32,29 @@ from repro.learning.approximation import (
     ApproximateTrainingConfig,
     LinearQFunction,
 )
+from repro.learning.telemetry import (
+    SweepStats,
+    TelemetryRecorder,
+    TrainingTelemetry,
+    TypeTelemetry,
+)
+from repro.learning.checkpoint import (
+    CheckpointStore,
+    TypeCheckpoint,
+    training_fingerprint,
+)
+from repro.learning.parallel import ParallelTrainingEngine, TypeOutcome
 
 __all__ = [
+    "SweepStats",
+    "TelemetryRecorder",
+    "TrainingTelemetry",
+    "TypeTelemetry",
+    "CheckpointStore",
+    "TypeCheckpoint",
+    "training_fingerprint",
+    "ParallelTrainingEngine",
+    "TypeOutcome",
     "LinearQFunction",
     "ApproximateTrainingConfig",
     "ApproximateQLearningTrainer",

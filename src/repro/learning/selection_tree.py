@@ -299,6 +299,7 @@ class SelectionTreeExtractor:
         error_type: str,
         processes: Sequence[RecoveryProcess],
         baseline: Optional[PolicyLike] = None,
+        telemetry=None,
     ) -> TreeTrainingOutcome:
         """Run a Q-learning course that stops via selection-tree checks.
 
@@ -332,7 +333,8 @@ class SelectionTreeExtractor:
             return state["stable"] >= self.config.stable_checks
 
         training = trainer.train_type(
-            error_type, processes, sweep_callback=callback
+            error_type, processes, sweep_callback=callback,
+            telemetry=telemetry,
         )
         rules, cost, count = self.extract_best(
             training.qtable, processes, error_type, baseline=baseline

@@ -23,6 +23,10 @@ __all__ = [
     "load_policy",
     "save_qtable",
     "load_qtable",
+    "state_to_record",
+    "state_from_record",
+    "qtable_to_payload",
+    "qtable_from_payload",
 ]
 
 PathLike = Union[str, Path]
@@ -31,14 +35,16 @@ _POLICY_FORMAT = "repro/trained-policy@1"
 _QTABLE_FORMAT = "repro/qtable@1"
 
 
-def _state_to_record(state: RecoveryState) -> Dict[str, object]:
+def state_to_record(state: RecoveryState) -> Dict[str, object]:
+    """A (non-terminal) state as a JSON-serializable record."""
     return {
         "error_type": state.error_type,
         "tried": list(state.tried),
     }
 
 
-def _state_from_record(record: Dict[str, object]) -> RecoveryState:
+def state_from_record(record: Dict[str, object]) -> RecoveryState:
+    """Invert :func:`state_to_record`."""
     try:
         return RecoveryState(
             error_type=str(record["error_type"]),
@@ -47,6 +53,11 @@ def _state_from_record(record: Dict[str, object]) -> RecoveryState:
         )
     except (KeyError, TypeError) as exc:
         raise LogFormatError(f"bad state record {record!r}: {exc}") from None
+
+
+# Backwards-compatible private aliases.
+_state_to_record = state_to_record
+_state_from_record = state_from_record
 
 
 def save_policy(policy: TrainedPolicy, path: PathLike) -> int:
@@ -98,12 +109,13 @@ def load_policy(path: PathLike) -> TrainedPolicy:
     return TrainedPolicy(rules, label=str(payload.get("label", "trained")))
 
 
-def save_qtable(qtable: QTable, path: PathLike) -> int:
-    """Write a Q-table (values and visit counts) as JSON.
+def qtable_to_payload(qtable: QTable) -> Dict[str, object]:
+    """A Q-table (values and visit counts) as a JSON-serializable payload.
 
-    Returns the number of (state, action) pairs written.  Persisting the
-    visit counts preserves the equation-(6) learning-rate schedule, so a
-    reloaded table can continue training where it left off.
+    Persisting the visit counts preserves the equation-(6) learning-rate
+    schedule, so a restored table can continue training where it left
+    off.  Values round-trip exactly (``repr``-faithful floats), which the
+    parallel engine's checkpoint/resume equivalence guarantee relies on.
     """
     entries = []
     for state in sorted(
@@ -113,17 +125,58 @@ def save_qtable(qtable: QTable, path: PathLike) -> int:
             visits = qtable.visit_count(state, action)
             if visits == 0:
                 continue
-            record = _state_to_record(state)
+            record = state_to_record(state)
             record["action"] = action
             record["value"] = qtable.value(state, action)
             record["visits"] = visits
             entries.append(record)
-    payload = {
+    return {
         "format": _QTABLE_FORMAT,
         "actions": list(qtable.action_names),
         "initial_value": qtable.initial_value,
         "entries": entries,
     }
+
+
+def qtable_from_payload(
+    payload: Dict[str, object], *, alpha_floor: float = 0.0
+) -> QTable:
+    """Invert :func:`qtable_to_payload`.
+
+    ``alpha_floor`` is a training-time knob, not part of the payload,
+    and is supplied by the caller.
+    """
+    if payload.get("format") != _QTABLE_FORMAT:
+        raise LogFormatError(
+            f"expected format {_QTABLE_FORMAT!r}, "
+            f"got {payload.get('format')!r}"
+        )
+    qtable = QTable(
+        [str(a) for a in payload["actions"]],
+        initial_value=float(payload.get("initial_value", 0.0)),
+        alpha_floor=alpha_floor,
+    )
+    for record in payload.get("entries", []):
+        state = state_from_record(record)
+        try:
+            action = str(record["action"])
+            value = float(record["value"])
+            visits = int(record["visits"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LogFormatError(
+                f"bad entry record {record!r}: {exc}"
+            ) from None
+        qtable.restore(state, action, value, visits)
+    return qtable
+
+
+def save_qtable(qtable: QTable, path: PathLike) -> int:
+    """Write a Q-table as JSON; see :func:`qtable_to_payload`.
+
+    Returns the number of (state, action) pairs written.
+    """
+    payload = qtable_to_payload(qtable)
+    entries = payload["entries"]
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -141,25 +194,7 @@ def load_qtable(path: PathLike, *, alpha_floor: float = 0.0) -> QTable:
             payload = json.load(handle)
         except json.JSONDecodeError as exc:
             raise LogFormatError(f"{path}: bad JSON: {exc}") from None
-    if payload.get("format") != _QTABLE_FORMAT:
-        raise LogFormatError(
-            f"{path}: expected format {_QTABLE_FORMAT!r}, "
-            f"got {payload.get('format')!r}"
-        )
-    qtable = QTable(
-        [str(a) for a in payload["actions"]],
-        initial_value=float(payload.get("initial_value", 0.0)),
-        alpha_floor=alpha_floor,
-    )
-    for record in payload.get("entries", []):
-        state = _state_from_record(record)
-        try:
-            action = str(record["action"])
-            value = float(record["value"])
-            visits = int(record["visits"])
-        except (KeyError, TypeError, ValueError) as exc:
-            raise LogFormatError(
-                f"{path}: bad entry record {record!r}: {exc}"
-            ) from None
-        qtable.restore(state, action, value, visits)
-    return qtable
+    try:
+        return qtable_from_payload(payload, alpha_floor=alpha_floor)
+    except LogFormatError as exc:
+        raise LogFormatError(f"{path}: {exc}") from None

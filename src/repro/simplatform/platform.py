@@ -149,7 +149,13 @@ class SimulationPlatform:
         self._last_action_only = last_action_only
         self._max_actions = max_actions
         # Required strengths are replay-invariant; cache per process id.
-        self._required_cache: Dict[int, Tuple[int, ...]] = {}
+        # Each entry pins the process object: holding the reference keeps
+        # the id from being recycled by a *different* transient process
+        # (which would silently return the wrong strengths), and the
+        # identity check guards against any remaining aliasing.
+        self._required_cache: Dict[
+            int, Tuple[RecoveryProcess, Tuple[int, ...]]
+        ] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -170,13 +176,14 @@ class SimulationPlatform:
 
     def _required(self, process: RecoveryProcess) -> Tuple[int, ...]:
         key = id(process)
-        cached = self._required_cache.get(key)
-        if cached is None:
-            cached = required_strengths(
+        entry = self._required_cache.get(key)
+        if entry is None or entry[0] is not process:
+            required = required_strengths(
                 process, self._catalog, last_action_only=self._last_action_only
             )
-            self._required_cache[key] = cached
-        return cached
+            entry = (process, required)
+            self._required_cache[key] = entry
+        return entry[1]
 
     # ------------------------------------------------------------------
     def initial_cost(self, process: RecoveryProcess) -> float:

@@ -103,6 +103,75 @@ class TestTrainEvaluate:
         assert "hybrid" in out
 
 
+class TestTrainParallelFlags:
+    def test_train_reports_worker_count(self, log_path, tmp_path, capsys):
+        policy_path = tmp_path / "policy.json"
+        code = main(
+            [
+                "train",
+                "--log", log_path,
+                "--out", str(policy_path),
+                "--top-k", "2",
+                "--workers", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workers=1" in out
+        assert "episodes" in out
+
+    def test_resume_requires_checkpoint_dir(self, log_path, tmp_path,
+                                            capsys):
+        code = main(
+            [
+                "train",
+                "--log", log_path,
+                "--out", str(tmp_path / "policy.json"),
+                "--resume",
+            ]
+        )
+        assert code == 1
+        assert "checkpoint_dir" in capsys.readouterr().err
+
+    def test_resumed_run_reuses_checkpoints_and_policy(
+        self, log_path, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        first_policy = tmp_path / "first.json"
+        second_policy = tmp_path / "second.json"
+        base = [
+            "train",
+            "--log", log_path,
+            "--top-k", "2",
+            "--checkpoint-dir", str(ckpt),
+        ]
+        assert main(base + ["--out", str(first_policy)]) == 0
+        first_out = capsys.readouterr().out
+        assert "error types from checkpoints" not in first_out
+        assert any(ckpt.glob("*.json"))
+
+        assert main(base + ["--out", str(second_policy), "--resume"]) == 0
+        second_out = capsys.readouterr().out
+        assert "resumed 2 error types" in second_out
+        assert "trained 0 error types" in second_out
+        # The resumed policy is byte-identical to the fresh one.
+        assert second_policy.read_text() == first_policy.read_text()
+
+    @pytest.mark.slow
+    def test_parallel_train_produces_identical_policy(
+        self, log_path, tmp_path, capsys
+    ):
+        serial_policy = tmp_path / "serial.json"
+        parallel_policy = tmp_path / "parallel.json"
+        base = ["train", "--log", log_path, "--top-k", "2"]
+        assert main(base + ["--out", str(serial_policy)]) == 0
+        assert main(
+            base + ["--out", str(parallel_policy), "--workers", "2"]
+        ) == 0
+        assert "workers=2" in capsys.readouterr().out
+        assert parallel_policy.read_text() == serial_policy.read_text()
+
+
 class TestExperiment:
     @pytest.mark.parametrize("figure", ["table1", "fig3", "fig5", "fig6"])
     def test_light_figures_on_small_scale(self, figure, capsys):
