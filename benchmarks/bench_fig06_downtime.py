@@ -5,8 +5,6 @@ monotone in frequency rank (rare hardware-bound types cost more per
 process than frequent transient ones).
 """
 
-import math
-
 from conftest import run_once
 from repro.experiments.figures import fig6_downtime
 

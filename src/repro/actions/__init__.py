@@ -19,8 +19,8 @@ from repro.actions.action import (
     TRYNOP,
     default_catalog,
 )
-from repro.actions.costs import CostModel, DeterministicCost, LognormalCost
 from repro.actions.composite import SumCost, compose_actions
+from repro.actions.costs import CostModel, DeterministicCost, LognormalCost
 
 __all__ = [
     "SumCost",

@@ -1,0 +1,31 @@
+"""repro-lint: the determinism & multiprocessing-safety analyzer.
+
+The offline Q-learning pipeline is only trustworthy if replaying the
+log is reproducible; this package walks the library's ASTs and enforces
+the six-rule determinism contract (R1-R6, see
+:mod:`repro.analysis.rules`) behind ``repro lint`` and the tier-1 gate
+test.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.engine import AnalysisError, LintReport, run_lint
+from repro.analysis.findings import Finding
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.rules import ALL_RULES, RULE_IDS, resolve_rules
+from repro.analysis.suppressions import Suppression, collect_suppressions
+
+__all__ = [
+    "ALL_RULES",
+    "RULE_IDS",
+    "AnalysisError",
+    "Baseline",
+    "BaselineError",
+    "Finding",
+    "LintReport",
+    "Suppression",
+    "collect_suppressions",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+    "run_lint",
+]

@@ -1,0 +1,102 @@
+"""The grandfathered-findings baseline.
+
+A baseline file freezes the findings that existed when the linter was
+introduced so the gate only fails on *new* violations.  Matching is by
+finding identity — (rule, path, message) with multiplicity — not line
+number, so grandfathered findings survive unrelated edits; fixing one
+then shows up as a clean diff when the baseline is regenerated with
+``repro lint --update-baseline``.
+
+The file is JSON with a version field, sorted deterministically, and a
+trailing newline, so regeneration on an unchanged tree is a no-op diff.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Counter as CounterType, List, Sequence, Tuple, Union
+
+from repro.analysis.findings import Finding
+from repro.errors import ReproError
+
+__all__ = ["Baseline", "BaselineError"]
+
+_VERSION = 1
+
+
+class BaselineError(ReproError):
+    """The baseline file is unreadable or structurally invalid."""
+
+
+class Baseline:
+    """An in-memory multiset of grandfathered finding identities."""
+
+    def __init__(self, findings: Sequence[Finding] = ()) -> None:
+        self._findings = sorted(findings)
+        self._identities: CounterType[Tuple[str, str, str]] = Counter(
+            finding.identity() for finding in self._findings
+        )
+
+    def __len__(self) -> int:
+        return len(self._findings)
+
+    @property
+    def findings(self) -> List[Finding]:
+        return list(self._findings)
+
+    def filter_new(self, findings: Sequence[Finding]) -> List[Finding]:
+        """The findings not covered by this baseline.
+
+        Each baselined identity absorbs as many current findings as it
+        has occurrences; the remainder are new.
+        """
+        budget = Counter(self._identities)
+        new: List[Finding] = []
+        for finding in sorted(findings):
+            if budget[finding.identity()] > 0:
+                budget[finding.identity()] -= 1
+            else:
+                new.append(finding)
+        return new
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file; a missing file is an explicit error."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise BaselineError(f"baseline file not found: {path}")
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline file {path} is not JSON: {exc}")
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != _VERSION
+            or not isinstance(payload.get("findings"), list)
+        ):
+            raise BaselineError(
+                f"baseline file {path} must be "
+                '{"version": 1, "findings": [...]}'
+            )
+        try:
+            findings = [
+                Finding.from_dict(entry) for entry in payload["findings"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BaselineError(
+                f"baseline file {path} has a malformed finding: {exc}"
+            )
+        return cls(findings)
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "version": _VERSION,
+            "findings": [finding.to_dict() for finding in self._findings],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

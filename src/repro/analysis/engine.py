@@ -1,0 +1,161 @@
+"""The lint engine: file discovery, parsing, rule dispatch, filtering.
+
+:func:`run_lint` is the single entry point used by the CLI, the tier-1
+gate test and the fixture tests.  It walks the given paths, parses each
+``*.py`` once, runs every enabled rule's visitor over the
+parent-annotated tree, drops inline-suppressed findings, subtracts the
+baseline when one is given, and returns a :class:`LintReport` whose
+``findings`` are exactly the violations that should fail a build.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
+from repro.analysis.rules import LintRule, attach_parents, resolve_rules
+from repro.analysis.suppressions import split_suppressed
+from repro.errors import ReproError
+
+__all__ = ["AnalysisError", "LintReport", "run_lint"]
+
+PathLike = Union[str, Path]
+
+
+class AnalysisError(ReproError):
+    """A scanned file could not be read or parsed."""
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Everything one lint run produced.
+
+    Attributes
+    ----------
+    findings:
+        Active violations (suppressions and baseline already applied),
+        sorted by (path, line, column, rule).
+    suppressed:
+        Findings silenced by inline ``repro-lint: disable`` comments.
+    baselined:
+        How many findings the baseline absorbed.
+    files_scanned:
+        Number of files parsed.
+    """
+
+    findings: Tuple[Finding, ...]
+    suppressed: Tuple[Finding, ...] = ()
+    baselined: int = 0
+    files_scanned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+@dataclass
+class _FileResult:
+    active: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+
+
+def _iter_python_files(paths: Sequence[PathLike]) -> Iterator[Path]:
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Sequence[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        elif not path.exists():
+            raise AnalysisError(f"lint path does not exist: {path}")
+        else:
+            candidates = []
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def _display_path(path: Path, root: Optional[Path]) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def _lint_file(path: Path, rules: Sequence[LintRule], display: str) -> _FileResult:
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"cannot read {path}: {exc}")
+    try:
+        tree = attach_parents(ast.parse(source, filename=str(path)))
+    except SyntaxError as exc:
+        raise AnalysisError(
+            f"cannot parse {path}: {exc.msg} (line {exc.lineno})"
+        )
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(tree, display))
+    result = _FileResult()
+    result.active, result.suppressed = split_suppressed(findings, source)
+    return result
+
+
+def run_lint(
+    paths: Sequence[PathLike],
+    *,
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+    root: Optional[PathLike] = None,
+) -> LintReport:
+    """Lint ``paths`` (files and/or directory trees).
+
+    Parameters
+    ----------
+    paths:
+        Files or directories; directories are walked recursively for
+        ``*.py``.
+    rules:
+        Rule ids to enable (default: all).  Unknown ids raise
+        :class:`AnalysisError`.
+    baseline:
+        Grandfathered findings to subtract from the result.
+    root:
+        Directory that finding paths are reported relative to (when the
+        file lies under it); keeps baselines machine-independent.
+    """
+    try:
+        enabled = resolve_rules(rules)
+    except ValueError as exc:
+        raise AnalysisError(str(exc))
+    root_path = Path(root) if root is not None else None
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    files_scanned = 0
+    for path in _iter_python_files(paths):
+        files_scanned += 1
+        result = _lint_file(
+            path, enabled, _display_path(path, root_path)
+        )
+        active.extend(result.active)
+        suppressed.extend(result.suppressed)
+    baselined = 0
+    if baseline is not None:
+        new = baseline.filter_new(active)
+        baselined = len(active) - len(new)
+        active = new
+    return LintReport(
+        findings=tuple(sorted(active)),
+        suppressed=tuple(sorted(suppressed)),
+        baselined=baselined,
+        files_scanned=files_scanned,
+    )

@@ -1,0 +1,45 @@
+"""Text and JSON renderers for lint reports."""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
+    from repro.analysis.engine import LintReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: "LintReport") -> str:
+    """A human-readable report, one location block per finding."""
+    lines = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.location()} {finding.rule} {finding.message}"
+        )
+        lines.append(f"    fix: {finding.suggestion}")
+    summary = (
+        f"{len(report.findings)} finding"
+        f"{'' if len(report.findings) == 1 else 's'}"
+        f" in {report.files_scanned} file"
+        f"{'' if report.files_scanned == 1 else 's'}"
+    )
+    if report.suppressed:
+        summary += f" ({len(report.suppressed)} suppressed)"
+    if report.baselined:
+        summary += f" ({report.baselined} baselined)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: "LintReport") -> str:
+    """A machine-readable report; also the ``--update-baseline`` shape."""
+    payload = {
+        "version": 1,
+        "files_scanned": report.files_scanned,
+        "suppressed": len(report.suppressed),
+        "baselined": report.baselined,
+        "findings": [finding.to_dict() for finding in report.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,87 @@
+"""Inline suppression comments.
+
+A finding is suppressed by a trailing comment on its own line::
+
+    key = id(process)  # repro-lint: disable=R1 identity-pinned cache
+
+The comment names one or more rule ids (comma-separated, or ``all``)
+followed by a free-text reason.  Reasons are not enforced but are
+expected by review convention — a suppression documents *why* the
+invariant holds anyway.  Comments are recognised with :mod:`tokenize`,
+so the marker inside a string literal (this docstring, say) never
+suppresses anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Suppression", "collect_suppressions", "split_suppressed"]
+
+_MARKER = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9, ]+?)(?:\s+(.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One disable comment: its line, rule ids and written reason."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+    def covers(self, rule_id: str) -> bool:
+        return "ALL" in self.rules or rule_id.upper() in self.rules
+
+
+def collect_suppressions(source: str) -> Dict[int, Suppression]:
+    """Map line number -> suppression for every disable comment.
+
+    Unreadable source (tokenize errors) yields no suppressions; the
+    engine will have failed to parse such a file anyway.
+    """
+    suppressions: Dict[int, Suppression] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _MARKER.search(token.string)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip().upper()
+            for part in match.group(1).split(",")
+            if part.strip()
+        )
+        suppressions[token.start[0]] = Suppression(
+            line=token.start[0],
+            rules=rules,
+            reason=(match.group(2) or "").strip(),
+        )
+    return suppressions
+
+
+def split_suppressed(
+    findings: List[Finding], source: str
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition ``findings`` into (active, suppressed) for one file."""
+    suppressions = collect_suppressions(source)
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        suppression = suppressions.get(finding.line)
+        if suppression is not None and suppression.covers(finding.rule):
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+    return active, suppressed

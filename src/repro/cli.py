@@ -8,6 +8,7 @@
                              --workers 4 --checkpoint-dir ckpt/ --resume
     python -m repro evaluate --log cluster.jsonl --policy policy.json --fraction 0.4
     python -m repro experiment --figure fig9
+    python -m repro lint src/repro --baseline lint-baseline.json
 
 Every subcommand prints plain-text reports; ``experiment`` regenerates a
 paper figure's rows (see EXPERIMENTS.md).
@@ -19,6 +20,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.actions.action import default_catalog
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import RecoveryPolicyLearner
 from repro.errors import ReproError
@@ -27,7 +29,6 @@ from repro.mining.clustering import coverage_curve
 from repro.mining.noise import filter_noise
 from repro.policies.serialization import load_policy, save_policy
 from repro.policies.user_defined import UserDefinedPolicy
-from repro.actions.action import default_catalog
 from repro.recoverylog.io import (
     read_log_jsonl,
     read_log_text,
@@ -144,6 +145,34 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=7)
     experiment.add_argument(
         "--scale", choices=sorted(_SCALES), default="default"
+    )
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the determinism-contract analyzer (rules R1-R6)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to enable, e.g. R1,R3 (default: all)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        help="JSON baseline of grandfathered findings to subtract",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline with the current findings and exit 0",
     )
     return parser
 
@@ -312,6 +341,42 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        Baseline,
+        render_json,
+        render_text,
+        run_lint,
+    )
+    from repro.errors import ConfigurationError
+
+    paths = args.paths or [str(Path(__file__).resolve().parent)]
+    rules = args.rules.split(",") if args.rules else None
+    baseline = None
+    if args.baseline and not args.update_baseline:
+        baseline = Baseline.load(args.baseline)
+    report = run_lint(
+        paths, rules=rules, baseline=baseline, root=Path.cwd()
+    )
+    if args.update_baseline:
+        if not args.baseline:
+            raise ConfigurationError(
+                "--update-baseline requires --baseline PATH"
+            )
+        Baseline(list(report.findings)).save(args.baseline)
+        count = len(report.findings)
+        print(
+            f"wrote {count} finding{'' if count == 1 else 's'} to "
+            f"{args.baseline}"
+        )
+        return 0
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(report))
+    return 0 if report.clean else 1
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "inspect": _cmd_inspect,
@@ -319,6 +384,7 @@ _HANDLERS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "experiment": _cmd_experiment,
+    "lint": _cmd_lint,
 }
 
 

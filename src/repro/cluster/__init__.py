@@ -12,12 +12,12 @@ The learner never sees this package's ground-truth
 monitor writes, preserving the paper's information barrier.
 """
 
+from repro.cluster.cluster import ClusterConfig, ClusterSimulator
+from repro.cluster.detector import FaultDetector
 from repro.cluster.engine import SimulationEngine
 from repro.cluster.faults import FaultCatalog, FaultType, validate_fault_catalog
 from repro.cluster.machine import Machine, MachineState
 from repro.cluster.monitor import EventMonitor
-from repro.cluster.detector import FaultDetector
-from repro.cluster.cluster import ClusterConfig, ClusterSimulator
 
 __all__ = [
     "SimulationEngine",

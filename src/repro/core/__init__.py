@@ -7,7 +7,7 @@ trained and hybrid recovery policies.
 """
 
 from repro.core.config import PipelineConfig
-from repro.core.pipeline import RecoveryPolicyLearner
 from repro.core.online import RollingRetrainer
+from repro.core.pipeline import RecoveryPolicyLearner
 
 __all__ = ["PipelineConfig", "RecoveryPolicyLearner", "RollingRetrainer"]

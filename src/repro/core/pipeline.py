@@ -19,9 +19,8 @@ components face.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple, Union
-
 from dataclasses import asdict
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.actions.action import ActionCatalog, default_catalog
 from repro.core.config import PipelineConfig

@@ -7,14 +7,14 @@ time cost, and coverage (the fraction of processes the policy can
 handle).
 """
 
-from repro.evaluation.split import time_ordered_split
-from repro.evaluation.metrics import EvaluationResult, TypeEvaluation
 from repro.evaluation.evaluator import PolicyEvaluator
+from repro.evaluation.metrics import EvaluationResult, TypeEvaluation
 from repro.evaluation.report import (
     render_coverage,
     render_relative_costs,
     render_totals,
 )
+from repro.evaluation.split import time_ordered_split
 
 __all__ = [
     "time_ordered_split",

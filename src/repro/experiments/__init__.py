@@ -8,8 +8,14 @@ the four trained bundles, the standard-vs-tree training comparison) are
 cached per scenario so the benchmark suite shares them.
 """
 
-from repro.experiments.scenario import Scenario, build_scenario, default_scenario
+from repro.experiments.ablations import (
+    ablation_approximation,
+    ablation_baselines,
+    ablation_exploration,
+    ablation_hypotheses,
+)
 from repro.experiments.bundle import FractionBundle, train_fraction
+from repro.experiments.diagnostics import PolicyDiffReport, diff_policies
 from repro.experiments.figures import (
     fig3_symptom_sets,
     fig5_error_type_counts,
@@ -24,13 +30,7 @@ from repro.experiments.figures import (
     fig14_selection_tree_quality,
     table1_example_process,
 )
-from repro.experiments.ablations import (
-    ablation_approximation,
-    ablation_baselines,
-    ablation_exploration,
-    ablation_hypotheses,
-)
-from repro.experiments.diagnostics import PolicyDiffReport, diff_policies
+from repro.experiments.scenario import Scenario, build_scenario, default_scenario
 from repro.experiments.sensitivity import (
     ThresholdSweepResult,
     sweep_tree_threshold,

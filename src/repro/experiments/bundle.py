@@ -41,7 +41,15 @@ class FractionBundle:
     hybrid_eval: EvaluationResult
 
 
-_CACHE: Dict[Tuple[int, float, Optional[PipelineConfig]], FractionBundle] = {}
+# Entries pin the scenario object: an id() key alone can alias a *new*
+# scenario allocated at a recycled address once the old one is garbage
+# collected, so each entry holds the keyed scenario and is verified by
+# identity before reuse (determinism contract R1; same pattern as
+# simplatform/platform.py's required-strengths cache).
+_CACHE: Dict[
+    Tuple[int, float, Optional[PipelineConfig]],
+    Tuple[Scenario, FractionBundle],
+] = {}
 
 
 def train_fraction(
@@ -63,9 +71,11 @@ def train_fraction(
     # PipelineConfig is a frozen dataclass of frozen parts, so it keys
     # the cache directly; the scenario keys by identity (it holds the
     # trace, which is not cheaply hashable).
-    key = (id(scenario), fraction, config)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    key = (id(scenario), fraction, config)  # repro-lint: disable=R1 entry pins scenario, verified by 'is'
+    if use_cache:
+        entry = _CACHE.get(key)
+        if entry is not None and entry[0] is scenario:
+            return entry[1]
 
     train, test = time_ordered_split(scenario.processes, fraction)
     learner = RecoveryPolicyLearner(scenario.catalog, config)
@@ -85,5 +95,5 @@ def train_fraction(
         ),
     )
     if use_cache:
-        _CACHE[key] = bundle
+        _CACHE[key] = (scenario, bundle)
     return bundle

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.config import PipelineConfig
 from repro.errors import EvaluationError
 from repro.evaluation.metrics import EvaluationResult
 from repro.evaluation.report import (
@@ -18,7 +19,6 @@ from repro.evaluation.report import (
     render_totals,
 )
 from repro.evaluation.split import STANDARD_TRAIN_FRACTIONS, time_ordered_split
-from repro.core.config import PipelineConfig
 from repro.experiments.bundle import FractionBundle, train_fraction
 from repro.experiments.scenario import Scenario
 from repro.learning.extraction import extract_greedy_rules, merge_rules
@@ -358,7 +358,13 @@ class TreeComparisonResult:
         )
 
 
-_TREE_COMPARISON_CACHE: Dict[tuple, TreeComparisonResult] = {}
+# Entries pin the scenario object: an id() key alone can alias a new
+# scenario allocated at a recycled address, so each entry holds the
+# keyed scenario and is verified by identity before reuse (determinism
+# contract R1; same pattern as experiments/bundle.py).
+_TREE_COMPARISON_CACHE: Dict[
+    tuple, Tuple[Scenario, TreeComparisonResult]
+] = {}
 
 
 def _tree_comparison(
@@ -368,9 +374,10 @@ def _tree_comparison(
     config: Optional["PipelineConfig"] = None,
 ) -> TreeComparisonResult:
     """Run both training courses once and cache the comparison."""
-    key = (id(scenario), fraction, standard_cap, config)
-    if key in _TREE_COMPARISON_CACHE:
-        return _TREE_COMPARISON_CACHE[key]
+    key = (id(scenario), fraction, standard_cap, config)  # repro-lint: disable=R1 entry pins scenario, verified by 'is'
+    entry = _TREE_COMPARISON_CACHE.get(key)
+    if entry is not None and entry[0] is scenario:
+        return entry[1]
 
     bundle = train_fraction(scenario, fraction, config=config)
     learner = bundle.learner
@@ -424,7 +431,7 @@ def _tree_comparison(
         ),
         standard_cap=standard_cap,
     )
-    _TREE_COMPARISON_CACHE[key] = comparison
+    _TREE_COMPARISON_CACHE[key] = (scenario, comparison)
     return comparison
 
 

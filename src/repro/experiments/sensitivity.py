@@ -9,10 +9,10 @@ of the trade on a subset of error types.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
+from repro.errortypes.registry import ErrorTypeRegistry
 from repro.evaluation.evaluator import PolicyEvaluator
 from repro.evaluation.split import time_ordered_split
 from repro.experiments.scenario import Scenario
@@ -23,7 +23,6 @@ from repro.learning.selection_tree import (
     SelectionTreeExtractor,
 )
 from repro.mining.noise import filter_noise
-from repro.errortypes.registry import ErrorTypeRegistry
 from repro.policies.trained import TrainedPolicy
 from repro.simplatform.platform import SimulationPlatform
 from repro.util.tables import render_table

@@ -10,40 +10,34 @@ state when their Q values are close and evaluates the candidate policies
 exactly — converging in far fewer sweeps.
 """
 
-from repro.learning.qtable import QTable
-from repro.learning.exploration import (
-    BoltzmannExplorer,
-    EpsilonGreedyExplorer,
-    TemperatureSchedule,
-)
-from repro.learning.qlearning import (
-    QLearningConfig,
-    QLearningTrainer,
-    TrainingResult,
-    TypeTrainingResult,
-)
-from repro.learning.extraction import extract_greedy_rules
-from repro.learning.selection_tree import (
-    SelectionTreeConfig,
-    SelectionTreeExtractor,
-)
 from repro.learning.approximation import (
     ApproximateQLearningTrainer,
     ApproximateTrainingConfig,
     LinearQFunction,
-)
-from repro.learning.telemetry import (
-    SweepStats,
-    TelemetryRecorder,
-    TrainingTelemetry,
-    TypeTelemetry,
 )
 from repro.learning.checkpoint import (
     CheckpointStore,
     TypeCheckpoint,
     training_fingerprint,
 )
+from repro.learning.exploration import (
+    BoltzmannExplorer,
+    EpsilonGreedyExplorer,
+    TemperatureSchedule,
+)
+from repro.learning.extraction import extract_greedy_rules
 from repro.learning.parallel import ParallelTrainingEngine, TypeOutcome
+from repro.learning.qlearning import (
+    QLearningConfig,
+    QLearningTrainer,
+    TrainingResult,
+    TypeTrainingResult,
+)
+from repro.learning.qtable import QTable
+from repro.learning.selection_tree import (
+    SelectionTreeConfig,
+    SelectionTreeExtractor,
+)
 
 __all__ = [
     "SweepStats",

@@ -114,7 +114,7 @@ def _train_one_type(
     """
     recorder = TelemetryRecorder() if collect_telemetry else None
     trainer = QLearningTrainer(platform, qlearning)
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro-lint: disable=R3 telemetry wall-clock only
     if tree is not None:
         extractor = SelectionTreeExtractor(platform, tree)
         outcome = extractor.train_type(
@@ -140,7 +140,7 @@ def _train_one_type(
         rules=rules,
         expected_cost=expected_cost,
         candidates_evaluated=candidates,
-        wall_clock=time.perf_counter() - started,
+        wall_clock=time.perf_counter() - started,  # repro-lint: disable=R3 telemetry wall-clock only
         telemetry=recorder.get(error_type) if recorder is not None else None,
     )
 

@@ -12,15 +12,15 @@ draws with Joshi et al.) and as ground truth in tests that check
 Q-learning converges to the true optimum.
 """
 
-from repro.mdp.state import RecoveryState
+from repro.mdp.contraction import is_proper_policy, max_episode_length_bound
 from repro.mdp.model import FiniteMDP, Transition
+from repro.mdp.state import RecoveryState
 from repro.mdp.value_iteration import (
     ValueIterationResult,
     greedy_policy_from_values,
     q_values_from_values,
     value_iteration,
 )
-from repro.mdp.contraction import is_proper_policy, max_episode_length_bound
 
 __all__ = [
     "RecoveryState",

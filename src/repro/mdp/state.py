@@ -10,9 +10,9 @@ process Markov.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Counter as CounterType, Tuple
-from collections import Counter
 
 from repro.errors import ConfigurationError
 

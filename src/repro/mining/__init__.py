@@ -8,9 +8,9 @@ fraction of "noisy" processes whose symptoms span more than one cluster
 (~3.33% of the real log) before training.
 """
 
+from repro.mining.clustering import SymptomClustering, coverage_curve
 from repro.mining.dependence import SymptomCooccurrence
 from repro.mining.mpattern import is_m_pattern, maximal_patterns, mine_m_patterns
-from repro.mining.clustering import SymptomClustering, coverage_curve
 from repro.mining.noise import NoiseFilterResult, filter_noise
 
 __all__ = [

@@ -11,7 +11,14 @@
 """
 
 from repro.policies.base import Policy, PolicyDecision
-from repro.policies.user_defined import UserDefinedPolicy
+from repro.policies.hybrid import HybridPolicy
+from repro.policies.index_policy import action_indices, design_index_policy
+from repro.policies.serialization import (
+    load_policy,
+    load_qtable,
+    save_policy,
+    save_qtable,
+)
 from repro.policies.static import (
     AlwaysCheapestPolicy,
     AlwaysStrongestPolicy,
@@ -19,14 +26,7 @@ from repro.policies.static import (
     RandomPolicy,
 )
 from repro.policies.trained import TrainedPolicy
-from repro.policies.hybrid import HybridPolicy
-from repro.policies.serialization import (
-    load_policy,
-    load_qtable,
-    save_policy,
-    save_qtable,
-)
-from repro.policies.index_policy import action_indices, design_index_policy
+from repro.policies.user_defined import UserDefinedPolicy
 
 __all__ = [
     "save_policy",

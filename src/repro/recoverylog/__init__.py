@@ -9,14 +9,14 @@ actions, and ends with a successful recovery.
 """
 
 from repro.recoverylog.entry import EntryKind, LogEntry
-from repro.recoverylog.log import RecoveryLog
-from repro.recoverylog.process import RecoveryProcess, SegmentationResult, segment_log
 from repro.recoverylog.io import (
     read_log_jsonl,
     read_log_text,
     write_log_jsonl,
     write_log_text,
 )
+from repro.recoverylog.log import RecoveryLog
+from repro.recoverylog.process import RecoveryProcess, SegmentationResult, segment_log
 from repro.recoverylog.stats import LogStatistics, compute_statistics
 
 __all__ = [

@@ -14,8 +14,8 @@ proposed action matches the logged one at the same position, otherwise
 the average success/failure duration of that (error type, action) pair.
 """
 
-from repro.simplatform.hypotheses import covers, required_actions
 from repro.simplatform.coststats import CostStatistics
+from repro.simplatform.hypotheses import covers, required_actions
 from repro.simplatform.platform import (
     CostMode,
     ReplayResult,

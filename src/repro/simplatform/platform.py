@@ -175,7 +175,7 @@ class SimulationPlatform:
         return self._max_actions
 
     def _required(self, process: RecoveryProcess) -> Tuple[int, ...]:
-        key = id(process)
+        key = id(process)  # repro-lint: disable=R1 entry pins the process, verified by 'is'
         entry = self._required_cache.get(key)
         if entry is None or entry[0] is not process:
             required = required_strengths(

@@ -9,14 +9,14 @@ noisy multi-error cases), driven through the cluster simulator under the
 same user-defined cheapest-first policy the production system ran.
 """
 
+from repro.tracegen.calibration import CalibrationReport, calibrate
 from repro.tracegen.catalog_gen import (
     CatalogSpec,
     FaultProfile,
     generate_fault_catalog,
 )
-from repro.tracegen.workload import TraceConfig, default_config, paper_scale_config
 from repro.tracegen.generator import GeneratedTrace, TraceGenerator, generate_trace
-from repro.tracegen.calibration import CalibrationReport, calibrate
+from repro.tracegen.workload import TraceConfig, default_config, paper_scale_config
 
 __all__ = [
     "CatalogSpec",

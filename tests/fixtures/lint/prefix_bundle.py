@@ -1,0 +1,26 @@
+"""Pre-fix copy of experiments/bundle.py's memo (PR 1 tree, trimmed).
+
+Kept verbatim so the gate provably catches the live R1 violation this
+PR fixed: the cache key embeds ``id(scenario)`` without pinning the
+scenario, so a new scenario allocated at a recycled address would
+silently reuse a dead scenario's bundle.
+"""
+
+from typing import Dict, Optional, Tuple
+
+PipelineConfig = FractionBundle = object
+
+_CACHE: Dict[Tuple[int, float, Optional[object]], object] = {}
+
+
+def train_fraction(scenario, fraction, *, config=None, use_cache=True):
+    # PipelineConfig is a frozen dataclass of frozen parts, so it keys
+    # the cache directly; the scenario keys by identity (it holds the
+    # trace, which is not cheaply hashable).
+    key = (id(scenario), fraction, config)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    bundle = (scenario, fraction, config)
+    if use_cache:
+        _CACHE[key] = bundle
+    return bundle

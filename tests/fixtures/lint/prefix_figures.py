@@ -1,0 +1,20 @@
+"""Pre-fix copy of experiments/figures.py's memo (PR 1 tree, trimmed).
+
+Same R1 bug class as prefix_bundle.py: the tree-comparison cache keys
+by ``id(scenario)`` without holding the scenario, so address reuse
+after garbage collection aliases a different scenario's comparison.
+"""
+
+from typing import Dict
+
+_TREE_COMPARISON_CACHE: Dict[tuple, object] = {}
+
+
+def _tree_comparison(scenario, fraction=0.4, standard_cap=280, config=None):
+    """Run both training courses once and cache the comparison."""
+    key = (id(scenario), fraction, standard_cap, config)
+    if key in _TREE_COMPARISON_CACHE:
+        return _TREE_COMPARISON_CACHE[key]
+    comparison = (scenario, fraction, standard_cap, config)
+    _TREE_COMPARISON_CACHE[key] = comparison
+    return comparison

@@ -1,0 +1,26 @@
+"""R1 violations: id()-keyed caches and dict keys."""
+
+_CACHE = {}
+_MEMO = {}
+
+
+def cached_lookup(scenario, fraction):
+    key = (id(scenario), fraction)
+    if key in _CACHE:
+        return _CACHE[key]
+    value = expensive(scenario, fraction)
+    _CACHE[key] = value
+    return value
+
+
+def memo_by_address(process):
+    key = id(process)
+    return _MEMO.get(key)
+
+
+def literal_key(obj):
+    return {id(obj): obj.name}
+
+
+def expensive(scenario, fraction):
+    return (scenario, fraction)

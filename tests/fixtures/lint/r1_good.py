@@ -1,0 +1,25 @@
+"""R1-clean: value-based keys and transient id() uses."""
+
+_CACHE = {}
+
+
+def cached_lookup(scenario, fraction):
+    key = (scenario.seed, fraction)
+    if key in _CACHE:
+        return _CACHE[key]
+    value = expensive(scenario, fraction)
+    _CACHE[key] = value
+    return value
+
+
+def debug_label(obj):
+    # Transient formatting of an address is not a keying hazard.
+    return f"<{type(obj).__name__} at {id(obj):#x}>"
+
+
+def same_object(left, right):
+    return id(left) == id(right)
+
+
+def expensive(scenario, fraction):
+    return (scenario, fraction)

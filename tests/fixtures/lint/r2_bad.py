@@ -1,0 +1,16 @@
+"""R2 violations: stdlib random and legacy numpy.random globals."""
+
+import random
+from random import shuffle
+
+import numpy as np
+
+
+def jitter(values):
+    random.shuffle(values)
+    return [v + np.random.uniform(-1.0, 1.0) for v in values]
+
+
+def reseed(seed):
+    np.random.seed(seed)
+    shuffle([1, 2, 3])

@@ -1,0 +1,12 @@
+"""R2-clean: explicit generators only."""
+
+import numpy as np
+
+
+def jitter(values, rng: np.random.Generator):
+    order = rng.permutation(len(values))
+    return [values[i] + rng.uniform(-1.0, 1.0) for i in order]
+
+
+def make_rng(seed):
+    return np.random.default_rng(np.random.SeedSequence(seed))

@@ -1,0 +1,16 @@
+"""R3 violations: wall clock and unscoped perf counters."""
+
+import time
+from datetime import date, datetime
+
+
+def stamp_episode(episode):
+    episode.started_at = time.time()
+    episode.day = date.today()
+    return datetime.now()
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

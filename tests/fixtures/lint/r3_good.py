@@ -1,0 +1,10 @@
+"""R3-clean: time comes from the replayed log, never the host."""
+
+
+def stamp_episode(episode, entry):
+    episode.started_at = entry.timestamp
+    return episode.started_at
+
+
+def downtime(entries):
+    return entries[-1].timestamp - entries[0].timestamp

@@ -1,0 +1,9 @@
+"""R4 violations: iteration over bare set expressions."""
+
+
+def emit(names, extra):
+    for name in set(names):
+        print(name)
+    rows = [n.upper() for n in {x.strip() for x in names}]
+    joined = ",".join(frozenset(extra))
+    return rows, list(set(names)), joined

@@ -1,0 +1,10 @@
+"""R4-clean: sorted() pins the order; membership needs no order."""
+
+
+def emit(names, extra):
+    for name in sorted(set(names)):
+        print(name)
+    rows = [n.upper() for n in sorted({x.strip() for x in names})]
+    joined = ",".join(sorted(frozenset(extra)))
+    wanted = "a" in set(names)
+    return rows, sorted(set(names)), joined, wanted

@@ -1,0 +1,18 @@
+"""R5 violations: pickle-unsafe callables shipped to process pools."""
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import Pool, Process
+
+
+def train_all(groups):
+    def train_one(item):
+        return item[0], len(item[1])
+
+    with ProcessPoolExecutor(initializer=lambda: None) as executor:
+        futures = [
+            executor.submit(train_one, item) for item in groups.items()
+        ]
+    with Pool() as pool:
+        pool.map(lambda g: g, (g for g in groups))
+    worker = Process(target=train_one, args=(("a", []),))
+    return futures, worker

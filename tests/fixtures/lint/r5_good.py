@@ -1,0 +1,21 @@
+"""R5-clean: module-level workers and plain-data arguments."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _train_one(item):
+    return item[0], len(item[1])
+
+
+def _init_worker(seed):
+    return seed
+
+
+def train_all(groups):
+    with ProcessPoolExecutor(
+        initializer=_init_worker, initargs=(7,)
+    ) as executor:
+        futures = [
+            executor.submit(_train_one, item) for item in groups.items()
+        ]
+    return futures

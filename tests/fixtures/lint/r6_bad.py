@@ -1,0 +1,11 @@
+"""R6 violations: exact float equality."""
+
+
+def converged(previous, current):
+    if current - previous == 0.0:
+        return True
+    return current == previous / 2
+
+
+def is_unit(x):
+    return float(x) != 1.0

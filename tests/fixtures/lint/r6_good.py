@@ -1,0 +1,22 @@
+"""R6-clean: tolerances, integer equality and infinity sentinels."""
+
+import math
+
+EPSILON = 1e-9
+
+
+def converged(previous, current):
+    return abs(current - previous) < EPSILON
+
+
+def is_unit(x):
+    return math.isclose(x, 1.0)
+
+
+def unreachable(cost):
+    # Infinity compares exactly; the sentinel check is legitimate.
+    return cost == float("inf")
+
+
+def count_matches(left, right):
+    return left == right and len(left) == 0

@@ -1,0 +1,23 @@
+"""Inline suppressions: each violation line documents its reason."""
+
+import time
+
+_CACHE = {}
+
+
+def pinned_lookup(process):
+    key = id(process)  # repro-lint: disable=R1 entry pins the process, verified by 'is'
+    entry = _CACHE.get(key)
+    if entry is None or entry[0] is not process:
+        entry = (process, compute(process))
+        _CACHE[key] = entry
+    return entry[1]
+
+
+def wall_and_address(process):
+    started = time.time()  # repro-lint: disable=R3,R1 demo of multi-rule suppression
+    return started, compute(process)
+
+
+def compute(process):
+    return process

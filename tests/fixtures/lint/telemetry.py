@@ -1,0 +1,9 @@
+"""R3 allowlist: perf counters are fine in telemetry modules."""
+
+import time
+
+
+def timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

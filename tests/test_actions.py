@@ -9,7 +9,6 @@ from repro.actions.action import (
     RMA,
     RepairAction,
     TRYNOP,
-    default_catalog,
 )
 from repro.actions.costs import DeterministicCost
 from repro.errors import ConfigurationError, UnknownActionError

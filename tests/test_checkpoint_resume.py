@@ -13,7 +13,6 @@ import json
 
 import pytest
 
-from helpers import ladder_processes
 from repro.actions import default_catalog
 from repro.core import PipelineConfig, RecoveryPolicyLearner
 from repro.errors import ConfigurationError, TrainingError
@@ -25,7 +24,6 @@ from repro.learning.checkpoint import (
 from repro.learning.parallel import ParallelTrainingEngine
 from repro.learning.qlearning import QLearningConfig
 from repro.learning.selection_tree import SelectionTreeConfig
-
 from test_learning_parallel import (
     ladder_groups,
     outcome_snapshot,

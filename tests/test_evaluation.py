@@ -1,7 +1,5 @@
 """Tests for evaluation metrics, evaluator and reports."""
 
-import math
-
 import pytest
 
 from helpers import ladder_processes
@@ -14,7 +12,6 @@ from repro.evaluation.report import (
     render_relative_costs,
     render_totals,
 )
-from repro.mdp.state import RecoveryState
 from repro.policies import (
     FixedSequencePolicy,
     TrainedPolicy,

@@ -16,7 +16,7 @@ from repro.experiments.figures import (
     fig7_platform_validation,
     table1_example_process,
 )
-from repro.experiments.scenario import Scenario, build_scenario, default_scenario
+from repro.experiments.scenario import build_scenario, default_scenario
 from repro.learning.qlearning import QLearningConfig
 from repro.learning.selection_tree import SelectionTreeConfig
 from repro.tracegen.workload import small_config

@@ -1,0 +1,122 @@
+"""Regression tests for the experiments memo caches' id-reuse guards.
+
+PR 1 fixed an ``id()``-keyed cache in ``simplatform/platform.py``; the
+same bug class was live in ``experiments/bundle.py`` and
+``experiments/figures.py``: keys embedded ``id(scenario)`` without
+holding the scenario, so a new scenario allocated at a recycled address
+would silently receive a dead scenario's results.  Both caches now pin
+the scenario in the entry and verify identity with ``is``.  These tests
+poison the caches with same-key/different-object entries — exactly what
+address reuse produces — and assert the stale value is never returned.
+"""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.experiments import bundle as bundle_module
+from repro.experiments import figures as figures_module
+from repro.experiments.bundle import FractionBundle, train_fraction
+from repro.experiments.scenario import build_scenario
+from repro.learning.qlearning import QLearningConfig
+from repro.tracegen.workload import small_config
+
+FRACTION = 0.5
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(small_config(seed=19), top_k=3)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PipelineConfig(
+        top_k_types=3,
+        qlearning=QLearningConfig(max_sweeps=40, episodes_per_sweep=8),
+    )
+
+
+def test_object_ids_are_recycled():
+    """The hazard itself: CPython reuses addresses of dead objects."""
+    ids = {id(object()) for _ in range(100)}
+    assert len(ids) < 100
+
+
+class TestBundleCache:
+    def test_pinned_entry_is_returned_for_the_same_scenario(
+        self, scenario, config, monkeypatch
+    ):
+        sentinel = object()
+        key = (id(scenario), FRACTION, config)
+        monkeypatch.setitem(
+            bundle_module._CACHE, key, (scenario, sentinel)
+        )
+        assert train_fraction(scenario, FRACTION, config=config) is sentinel
+
+    def test_stale_id_entry_is_not_returned(
+        self, scenario, config, monkeypatch
+    ):
+        # Simulate address reuse: the cached entry carries this
+        # scenario's id but pins a *different* (dead) scenario.
+        sentinel = object()
+        key = (id(scenario), FRACTION, config)
+        monkeypatch.setitem(
+            bundle_module._CACHE, key, (object(), sentinel)
+        )
+        result = train_fraction(scenario, FRACTION, config=config)
+        assert result is not sentinel
+        assert isinstance(result, FractionBundle)
+        # The fresh result re-pins the live scenario under the key.
+        pinned, cached = bundle_module._CACHE[key]
+        assert pinned is scenario
+        assert cached is result
+
+    def test_use_cache_false_bypasses_poisoned_entry(
+        self, scenario, config, monkeypatch
+    ):
+        sentinel = object()
+        key = (id(scenario), FRACTION, config)
+        monkeypatch.setitem(
+            bundle_module._CACHE, key, (scenario, sentinel)
+        )
+        result = train_fraction(
+            scenario, FRACTION, config=config, use_cache=False
+        )
+        assert result is not sentinel
+        assert isinstance(result, FractionBundle)
+
+
+class TestTreeComparisonCache:
+    def test_pinned_entry_is_returned_for_the_same_scenario(
+        self, scenario, config, monkeypatch
+    ):
+        sentinel = object()
+        key = (id(scenario), FRACTION, 60, config)
+        monkeypatch.setitem(
+            figures_module._TREE_COMPARISON_CACHE,
+            key,
+            (scenario, sentinel),
+        )
+        result = figures_module._tree_comparison(
+            scenario, FRACTION, standard_cap=60, config=config
+        )
+        assert result is sentinel
+
+    def test_stale_id_entry_is_not_returned(
+        self, scenario, config, monkeypatch
+    ):
+        sentinel = object()
+        key = (id(scenario), FRACTION, 60, config)
+        monkeypatch.setitem(
+            figures_module._TREE_COMPARISON_CACHE,
+            key,
+            (object(), sentinel),
+        )
+        result = figures_module._tree_comparison(
+            scenario, FRACTION, standard_cap=60, config=config
+        )
+        assert result is not sentinel
+        assert isinstance(result, figures_module.TreeComparisonResult)
+        pinned, cached = figures_module._TREE_COMPARISON_CACHE[key]
+        assert pinned is scenario
+        assert cached is result

@@ -6,7 +6,6 @@ from helpers import ladder_processes
 from repro.actions import default_catalog
 from repro.errors import ConfigurationError
 from repro.learning.qlearning import QLearningConfig, QLearningTrainer
-from repro.learning.qtable import QTable
 from repro.learning.selection_tree import (
     SelectionTreeConfig,
     SelectionTreeExtractor,

@@ -1,0 +1,206 @@
+"""Engine mechanics: findings, suppressions, baselines, reporting."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    Baseline,
+    BaselineError,
+    Finding,
+    collect_suppressions,
+    render_json,
+    render_text,
+    run_lint,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+
+
+def make_finding(rule="R1", path="pkg/mod.py", line=10, message="boom"):
+    return Finding(
+        path=path,
+        line=line,
+        column=4,
+        rule=rule,
+        message=message,
+        suggestion="fix it",
+    )
+
+
+class TestFinding:
+    def test_sorts_by_location_then_rule(self):
+        first = make_finding(path="a.py", line=1)
+        second = make_finding(path="a.py", line=9)
+        third = make_finding(path="b.py", line=1)
+        assert sorted([third, second, first]) == [first, second, third]
+
+    def test_round_trips_through_dict(self):
+        finding = make_finding()
+        assert Finding.from_dict(finding.to_dict()) == finding
+
+    def test_identity_ignores_line(self):
+        assert (
+            make_finding(line=10).identity()
+            == make_finding(line=99).identity()
+        )
+
+
+class TestSuppressions:
+    def test_reason_and_rules_parsed(self):
+        source = "x = id(y)  # repro-lint: disable=R1 pinned and verified\n"
+        suppressions = collect_suppressions(source)
+        assert suppressions[1].rules == ("R1",)
+        assert suppressions[1].reason == "pinned and verified"
+
+    def test_multi_rule_and_all(self):
+        source = (
+            "a = 1  # repro-lint: disable=R1,R3 two rules\n"
+            "b = 2  # repro-lint: disable=all everything\n"
+        )
+        suppressions = collect_suppressions(source)
+        assert suppressions[1].covers("R1")
+        assert suppressions[1].covers("r3")
+        assert not suppressions[1].covers("R2")
+        assert suppressions[2].covers("R6")
+
+    def test_marker_inside_string_literal_ignored(self):
+        source = 's = "# repro-lint: disable=R1 not a comment"\n'
+        assert collect_suppressions(source) == {}
+
+    def test_suppressed_findings_leave_the_report(self):
+        report = run_lint([FIXTURES / "suppressed.py"], root=FIXTURES)
+        assert report.clean
+        assert len(report.suppressed) == 2
+        assert {finding.rule for finding in report.suppressed} == {
+            "R1",
+            "R3",
+        }
+
+    def test_suppression_covers_only_named_rules(self):
+        # The same file linted with a rule its comments do not name
+        # would still report; here every comment names its rule.
+        report = run_lint(
+            [FIXTURES / "suppressed.py"], root=FIXTURES, rules=["R1"]
+        )
+        assert report.clean
+        assert len(report.suppressed) == 1
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        report = run_lint([FIXTURES / "r1_bad.py"], root=FIXTURES)
+        assert len(report.findings) == 3
+        path = tmp_path / "baseline.json"
+        Baseline(list(report.findings)).save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 3
+        assert loaded.filter_new(report.findings) == []
+
+    def test_save_is_deterministic(self, tmp_path):
+        findings = [make_finding(line=9), make_finding(line=2)]
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        Baseline(findings).save(first)
+        Baseline(list(reversed(findings))).save(second)
+        assert first.read_text() == second.read_text()
+
+    def test_baselined_findings_subtracted(self, tmp_path):
+        r1 = run_lint([FIXTURES / "r1_bad.py"], root=FIXTURES)
+        path = tmp_path / "baseline.json"
+        Baseline(list(r1.findings)).save(path)
+        report = run_lint(
+            [FIXTURES / "r1_bad.py", FIXTURES / "r6_bad.py"],
+            root=FIXTURES,
+            baseline=Baseline.load(path),
+        )
+        assert report.baselined == 3
+        assert {finding.rule for finding in report.findings} == {"R6"}
+
+    def test_multiplicity_is_respected(self):
+        baseline = Baseline([make_finding(line=1), make_finding(line=2)])
+        current = [
+            make_finding(line=1),
+            make_finding(line=2),
+            make_finding(line=3),
+        ]
+        new = baseline.filter_new(current)
+        assert len(new) == 1
+
+    def test_missing_file_is_explicit_error(self, tmp_path):
+        with pytest.raises(BaselineError, match="not found"):
+            Baseline.load(tmp_path / "absent.json")
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError, match="not JSON"):
+            Baseline.load(path)
+
+    def test_wrong_shape_rejected(self, tmp_path):
+        path = tmp_path / "shape.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(BaselineError, match="version"):
+            Baseline.load(path)
+
+
+class TestEngine:
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown rule"):
+            run_lint([FIXTURES / "r1_bad.py"], rules=["R9"])
+
+    def test_missing_path_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError, match="does not exist"):
+            run_lint([tmp_path / "nowhere"])
+
+    def test_unparseable_file_rejected(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def oops(:\n")
+        with pytest.raises(AnalysisError, match="cannot parse"):
+            run_lint([bad])
+
+    def test_paths_relative_to_root_and_posix(self):
+        report = run_lint([FIXTURES / "r1_bad.py"], root=FIXTURES.parent)
+        assert {finding.path for finding in report.findings} == {
+            "lint/r1_bad.py"
+        }
+
+    def test_directory_walk_deduplicates(self):
+        once = run_lint([FIXTURES], root=FIXTURES)
+        twice = run_lint(
+            [FIXTURES, FIXTURES / "r1_bad.py"], root=FIXTURES
+        )
+        assert once.files_scanned == twice.files_scanned
+        assert once.findings == twice.findings
+
+    def test_rule_selection_filters(self):
+        report = run_lint(
+            [FIXTURES / "r1_bad.py"], root=FIXTURES, rules=["R6"]
+        )
+        assert report.clean
+
+
+class TestReporting:
+    def test_text_report_lists_location_rule_and_fix(self):
+        report = run_lint([FIXTURES / "r6_bad.py"], root=FIXTURES)
+        text = render_text(report)
+        assert "r6_bad.py:5" in text
+        assert "R6" in text
+        assert "fix:" in text
+        assert "3 findings in 1 file" in text
+
+    def test_text_report_counts_suppressions(self):
+        report = run_lint([FIXTURES / "suppressed.py"], root=FIXTURES)
+        assert "(2 suppressed)" in render_text(report)
+
+    def test_json_report_parses_and_round_trips(self):
+        report = run_lint([FIXTURES / "r4_bad.py"], root=FIXTURES)
+        payload = json.loads(render_json(report))
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 1
+        assert len(payload["findings"]) == len(report.findings)
+        rebuilt = [
+            Finding.from_dict(entry) for entry in payload["findings"]
+        ]
+        assert tuple(rebuilt) == report.findings

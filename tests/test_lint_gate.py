@@ -1,0 +1,137 @@
+"""The tier-1 gate: the shipped tree must satisfy its own contract.
+
+This is the machine checker the PR 1 id-reuse incident argued for: it
+lints every module under ``src/repro`` against rules R1-R6 and fails on
+any finding the committed baseline does not grandfather.  The companion
+tests drive the same gate through the ``repro lint`` CLI, including the
+pre-fix fixture copies that reproduce the exact violations this PR
+fixed.
+"""
+
+import json
+from pathlib import Path
+
+import repro
+from repro.analysis import (
+    Baseline,
+    collect_suppressions,
+    render_text,
+    run_lint,
+)
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+PACKAGE_DIR = Path(repro.__file__).resolve().parent
+BASELINE_PATH = REPO_ROOT / "lint-baseline.json"
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+
+
+class TestGate:
+    def test_package_tree_is_lint_clean(self):
+        baseline = Baseline.load(BASELINE_PATH)
+        report = run_lint(
+            [PACKAGE_DIR], baseline=baseline, root=REPO_ROOT
+        )
+        assert report.clean, "\n" + render_text(report)
+
+    def test_committed_baseline_is_empty(self):
+        # The initial baseline grandfathers nothing: every finding in
+        # the tree was fixed or suppressed with a reason in this PR.
+        assert len(Baseline.load(BASELINE_PATH)) == 0
+
+    def test_every_suppression_states_a_reason(self):
+        missing = []
+        for path in sorted(PACKAGE_DIR.rglob("*.py")):
+            source = path.read_text(encoding="utf-8")
+            for suppression in collect_suppressions(source).values():
+                if not suppression.reason:
+                    missing.append(f"{path}:{suppression.line}")
+        assert not missing, (
+            "suppressions without a written reason: " + ", ".join(missing)
+        )
+
+
+class TestLintCli:
+    def test_prefix_copies_fail_lint(self, capsys):
+        code = main(
+            [
+                "lint",
+                str(FIXTURES / "prefix_bundle.py"),
+                str(FIXTURES / "prefix_figures.py"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "R1" in out
+        assert "prefix_bundle.py" in out
+        assert "prefix_figures.py" in out
+
+    def test_package_default_paths_pass(self, capsys):
+        # Without positional paths the CLI lints the installed package.
+        assert main(["lint"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_gate_command_matches_ci_invocation(self, capsys):
+        code = main(
+            [
+                "lint",
+                str(PACKAGE_DIR),
+                "--baseline",
+                str(BASELINE_PATH),
+            ]
+        )
+        assert code == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        code = main(
+            ["lint", str(FIXTURES / "r2_bad.py"), "--format", "json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["rule"] for entry in payload["findings"]} == {"R2"}
+
+    def test_rules_filter(self, capsys):
+        code = main(
+            ["lint", str(FIXTURES / "r2_bad.py"), "--rules", "R1,R6"]
+        )
+        assert code == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_unknown_rule_is_an_error(self, capsys):
+        assert main(["lint", str(FIXTURES), "--rules", "R99"]) == 1
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_update_baseline_round_trip(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        target = str(FIXTURES / "r5_bad.py")
+        assert main(["lint", target]) == 1
+        assert (
+            main(
+                ["lint", target, "--baseline", str(baseline),
+                 "--update-baseline"]
+            )
+            == 0
+        )
+        assert baseline.exists()
+        capsys.readouterr()
+        assert (
+            main(["lint", target, "--baseline", str(baseline)]) == 0
+        )
+        assert "baselined" in capsys.readouterr().out
+
+    def test_update_baseline_requires_baseline_path(self, capsys):
+        assert main(["lint", str(FIXTURES), "--update-baseline"]) == 1
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_missing_baseline_file_is_an_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "lint",
+                str(FIXTURES / "r1_good.py"),
+                "--baseline",
+                str(tmp_path / "absent.json"),
+            ]
+        )
+        assert code == 1
+        assert "not found" in capsys.readouterr().err

@@ -1,0 +1,115 @@
+"""Golden fixture tests: each rule R1-R6 fires on its violating snippet
+at exactly the expected lines and stays silent on the clean twin."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+
+
+def lines_for(report, rule):
+    return sorted(
+        finding.line for finding in report.findings if finding.rule == rule
+    )
+
+
+def lint_fixture(name, **kwargs):
+    return run_lint([FIXTURES / name], root=FIXTURES, **kwargs)
+
+
+class TestR1IdKeyedCache:
+    def test_bad_fixture_lines(self):
+        report = lint_fixture("r1_bad.py")
+        assert lines_for(report, "R1") == [8, 17, 22]
+        assert all(finding.rule == "R1" for finding in report.findings)
+
+    def test_clean_fixture(self):
+        assert lint_fixture("r1_good.py").clean
+
+    def test_messages_explain_address_reuse(self):
+        finding = lint_fixture("r1_bad.py").findings[0]
+        assert "recycled" in finding.message
+        assert "identity" in finding.suggestion
+
+
+class TestR2UnseededRandomness:
+    def test_bad_fixture_lines(self):
+        report = lint_fixture("r2_bad.py")
+        assert lines_for(report, "R2") == [3, 4, 11, 15]
+
+    def test_clean_fixture(self):
+        assert lint_fixture("r2_good.py").clean
+
+
+class TestR3WallClock:
+    def test_bad_fixture_lines(self):
+        report = lint_fixture("r3_bad.py")
+        assert lines_for(report, "R3") == [8, 9, 10, 14, 16]
+
+    def test_clean_fixture(self):
+        assert lint_fixture("r3_good.py").clean
+
+    def test_perf_counter_allowed_in_telemetry_modules(self):
+        assert lint_fixture("telemetry.py").clean
+
+    def test_allowlist_is_scoped_not_global(self):
+        # The same calls outside an allowlisted module path do fire.
+        report = lint_fixture("r3_bad.py", rules=["R3"])
+        assert any(
+            "perf_counter" in finding.message
+            for finding in report.findings
+        )
+
+
+class TestR4UnorderedSetIteration:
+    def test_bad_fixture_lines(self):
+        report = lint_fixture("r4_bad.py")
+        assert lines_for(report, "R4") == [5, 7, 8, 9]
+
+    def test_clean_fixture(self):
+        assert lint_fixture("r4_good.py").clean
+
+
+class TestR5PickleUnsafeWorkers:
+    def test_bad_fixture_lines(self):
+        report = lint_fixture("r5_bad.py")
+        assert lines_for(report, "R5") == [11, 13, 16, 16, 17]
+
+    def test_clean_fixture(self):
+        assert lint_fixture("r5_good.py").clean
+
+    def test_lambda_and_generator_named_in_messages(self):
+        messages = "\n".join(
+            finding.message for finding in lint_fixture("r5_bad.py").findings
+        )
+        assert "lambda" in messages
+        assert "generator expression" in messages
+        assert "train_one" in messages
+
+
+class TestR6FloatEquality:
+    def test_bad_fixture_lines(self):
+        report = lint_fixture("r6_bad.py")
+        assert lines_for(report, "R6") == [5, 7, 11]
+
+    def test_clean_fixture_including_infinity_sentinel(self):
+        assert lint_fixture("r6_good.py").clean
+
+
+class TestPreFixCopies:
+    """The exact PR 1-era memo code must fail lint (acceptance gate)."""
+
+    @pytest.mark.parametrize(
+        "name", ["prefix_bundle.py", "prefix_figures.py"]
+    )
+    def test_prefix_copy_has_r1_finding(self, name):
+        report = lint_fixture(name)
+        assert not report.clean
+        assert {finding.rule for finding in report.findings} == {"R1"}
+
+    def test_rule_filter_leaves_prefix_copy_clean_without_r1(self):
+        report = lint_fixture("prefix_bundle.py", rules=["R2", "R3"])
+        assert report.clean

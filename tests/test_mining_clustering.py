@@ -4,7 +4,6 @@ import pytest
 
 from helpers import make_process
 from repro.mining.clustering import SymptomClustering, coverage_curve
-from repro.mining.dependence import SymptomCooccurrence
 
 
 def processes_two_faults(cross=0):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from helpers import ladder_processes, make_process
+from helpers import ladder_processes
 from repro.recoverylog.stats import compute_statistics
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from helpers import ladder_processes, make_process
+from helpers import ladder_processes
 from repro.actions import default_catalog
 from repro.errors import SimulationError
 from repro.simplatform.coststats import CostStatistics

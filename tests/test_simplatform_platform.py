@@ -4,7 +4,7 @@ import pytest
 
 from helpers import ladder_processes, make_process
 from repro.actions import default_catalog
-from repro.errors import SimulationError, UnhandledStateError
+from repro.errors import SimulationError
 from repro.mdp.state import RecoveryState
 from repro.policies import (
     AlwaysStrongestPolicy,

@@ -1,7 +1,5 @@
 """Tests for end-to-end trace generation and calibration."""
 
-import pytest
-
 from repro.tracegen.calibration import PAPER_TARGETS, calibrate
 from repro.tracegen.generator import generate_trace
 from repro.tracegen.workload import (

@@ -1,7 +1,6 @@
 """Tests for repro.util.rng."""
 
 import numpy as np
-import pytest
 
 from repro.util.rng import RngStreams, make_rng
 
