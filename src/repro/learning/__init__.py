@@ -33,7 +33,12 @@ from repro.learning.qlearning import (
     TrainingResult,
     TypeTrainingResult,
 )
-from repro.learning.qtable import QTable
+from repro.learning.qtable import QTable, QTableBackend
+from repro.learning.qtable_array import (
+    QTABLE_BACKENDS,
+    ArrayQTable,
+    create_qtable,
+)
 from repro.learning.selection_tree import (
     SelectionTreeConfig,
     SelectionTreeExtractor,
@@ -53,6 +58,10 @@ __all__ = [
     "ApproximateTrainingConfig",
     "ApproximateQLearningTrainer",
     "QTable",
+    "QTableBackend",
+    "ArrayQTable",
+    "create_qtable",
+    "QTABLE_BACKENDS",
     "TemperatureSchedule",
     "BoltzmannExplorer",
     "EpsilonGreedyExplorer",

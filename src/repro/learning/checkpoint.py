@@ -109,6 +109,12 @@ class CheckpointStore:
     alpha_floor:
         Learning-rate floor to restore Q tables with (a training-time
         knob not stored in the table payload).
+    backend:
+        Q-table backend (``"array"`` or ``"dict"``) to restore tables
+        onto.  The payload is backend-agnostic and the backends are
+        bit-identical, so the fingerprint deliberately excludes this
+        knob — a checkpoint written under one backend resumes cleanly
+        under the other.
     """
 
     def __init__(
@@ -117,10 +123,12 @@ class CheckpointStore:
         *,
         fingerprint: str = "",
         alpha_floor: float = 0.0,
+        backend: str = "array",
     ) -> None:
         self._directory = Path(directory)
         self._fingerprint = fingerprint
         self._alpha_floor = alpha_floor
+        self._backend = backend
 
     @property
     def directory(self) -> Path:
@@ -204,7 +212,9 @@ class CheckpointStore:
         try:
             training_meta = payload["training"]
             qtable = qtable_from_payload(
-                payload["qtable"], alpha_floor=self._alpha_floor
+                payload["qtable"],
+                alpha_floor=self._alpha_floor,
+                backend=self._backend,
             )
             rules: RuleTable = {}
             for record in payload["rules"]:

@@ -12,12 +12,84 @@ the contraction the paper cites for convergence with probability 1.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterator,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.errors import ConfigurationError, TrainingError
 from repro.mdp.state import RecoveryState
 
-__all__ = ["QTable"]
+__all__ = ["QTable", "QTableBackend"]
+
+
+@runtime_checkable
+class QTableBackend(Protocol):
+    """The Q-function contract shared by the dict and array backends.
+
+    Both :class:`QTable` (dict-of-dict, the reference implementation)
+    and :class:`~repro.learning.qtable_array.ArrayQTable` (dense numpy
+    fast path) satisfy this protocol with *bit-identical* semantics:
+    visited-only greedy and bootstrap values, catalog-order tie
+    breaking, the equation-(6) learning-rate schedule with its alpha
+    floor, and exact ``restore`` round-trips.  The equivalence is
+    enforced by ``tests/test_backend_equivalence.py``.
+    """
+
+    @property
+    def action_names(self) -> Tuple[str, ...]: ...
+
+    @property
+    def initial_value(self) -> float: ...
+
+    def __len__(self) -> int: ...
+
+    def states(self) -> Iterator[RecoveryState]: ...
+
+    def known(self, state: RecoveryState) -> bool: ...
+
+    def value(self, state: RecoveryState, action_name: str) -> float: ...
+
+    def values_for(self, state: RecoveryState) -> Dict[str, float]: ...
+
+    def visit_count(self, state: RecoveryState, action_name: str) -> int: ...
+
+    def total_visits(self, state: RecoveryState) -> int: ...
+
+    def min_value(self, state: RecoveryState) -> float: ...
+
+    def underexplored_action(
+        self, state: RecoveryState, min_visits: int
+    ) -> Optional[str]: ...
+
+    def bootstrap_value(self, state: RecoveryState) -> float: ...
+
+    def greedy_action(
+        self, state: RecoveryState
+    ) -> Optional[Tuple[str, float]]: ...
+
+    def ranked_actions(
+        self, state: RecoveryState
+    ) -> Tuple[Tuple[str, float], ...]: ...
+
+    def update(
+        self, state: RecoveryState, action_name: str, target: float
+    ) -> float: ...
+
+    def restore(
+        self,
+        state: RecoveryState,
+        action_name: str,
+        value: float,
+        visits: int,
+    ) -> None: ...
+
+    def greedy_policy_changed(self) -> bool: ...
 
 
 class QTable:
@@ -60,6 +132,9 @@ class QTable:
         self._alpha_floor = alpha_floor
         self._values: Dict[RecoveryState, Dict[str, float]] = {}
         self._visits: Dict[RecoveryState, Dict[str, int]] = {}
+        self._last_signature: Optional[
+            Tuple[Tuple[RecoveryState, str], ...]
+        ] = None
 
     # ------------------------------------------------------------------
     @property
@@ -195,6 +270,28 @@ class QTable:
         ]
         ranked.sort(key=lambda pair: pair[1])
         return tuple(ranked)
+
+    def greedy_policy_changed(self) -> bool:
+        """Whether the greedy policy differs from the previous call.
+
+        The greedy policy is the map ``{visited state: argmin-Q visited
+        action}``; the convergence criterion counts consecutive sweeps
+        during which it is unchanged.  The first call always reports a
+        change (there is no previous policy to match).  The dict backend
+        rescans and sorts every visited state — the array backend
+        (:class:`~repro.learning.qtable_array.ArrayQTable`) tracks the
+        same answer incrementally inside ``update``.
+        """
+        signature = []
+        for state in self._values:
+            greedy = self.greedy_action(state)
+            if greedy is not None:
+                signature.append((state, greedy[0]))
+        signature.sort(key=lambda pair: (pair[0].tried, pair[0].error_type))
+        current = tuple(signature)
+        changed = current != self._last_signature
+        self._last_signature = current
+        return changed
 
     # ------------------------------------------------------------------
     def update(

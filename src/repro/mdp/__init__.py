@@ -14,7 +14,7 @@ Q-learning converges to the true optimum.
 
 from repro.mdp.contraction import is_proper_policy, max_episode_length_bound
 from repro.mdp.model import FiniteMDP, Transition
-from repro.mdp.state import RecoveryState
+from repro.mdp.state import RecoveryState, StateIndex
 from repro.mdp.value_iteration import (
     ValueIterationResult,
     greedy_policy_from_values,
@@ -24,6 +24,7 @@ from repro.mdp.value_iteration import (
 
 __all__ = [
     "RecoveryState",
+    "StateIndex",
     "FiniteMDP",
     "Transition",
     "ValueIterationResult",

@@ -12,11 +12,11 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Counter as CounterType, Tuple
+from typing import Counter as CounterType, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
-__all__ = ["RecoveryState"]
+__all__ = ["RecoveryState", "StateIndex"]
 
 
 @dataclass(frozen=True)
@@ -103,3 +103,89 @@ class RecoveryState:
         result = "h" if self.healthy else "f"
         history = ",".join(self.tried) if self.tried else "-"
         return f"({self.error_type}, {result}, [{history}])"
+
+
+class StateIndex:
+    """Interns :class:`RecoveryState` objects to dense integer ids.
+
+    States are only ever created through :meth:`RecoveryState.initial`
+    and :meth:`RecoveryState.after`, which makes interning a natural
+    choke point: one index per training course assigns consecutive ids
+    in first-seen order, and memoizes the successor relation so that the
+    hot training loop can walk ``(state id, action id, outcome) ->
+    successor id`` with two list indexings — no dataclass construction,
+    hashing or validation after the first visit.
+
+    Parameters
+    ----------
+    action_names:
+        The action catalog, in catalog order; action *ids* are positions
+        in this sequence.
+    """
+
+    def __init__(self, action_names: Sequence[str]) -> None:
+        if not action_names:
+            raise ConfigurationError("action_names must be non-empty")
+        self._actions: Tuple[str, ...] = tuple(action_names)
+        self._ids: Dict[RecoveryState, int] = {}
+        self._states: List[RecoveryState] = []
+        self._terminal: List[bool] = []
+        self._attempts: List[int] = []
+        # Per state id: successor ids for (action id, healthy) pairs,
+        # laid out as [a0_fail, a0_healthy, a1_fail, a1_healthy, ...];
+        # -1 marks a successor not yet materialized.
+        self._successors: List[List[int]] = []
+
+    @property
+    def action_names(self) -> Tuple[str, ...]:
+        return self._actions
+
+    def __len__(self) -> int:
+        """Number of interned states."""
+        return len(self._states)
+
+    def lookup(self, state: RecoveryState) -> Optional[int]:
+        """The state's id if already interned, else ``None``.
+
+        Read-only counterpart of :meth:`intern` for query paths that
+        must not grow the index.
+        """
+        return self._ids.get(state)
+
+    def intern(self, state: RecoveryState) -> int:
+        """The state's dense id, assigning the next free one if new."""
+        sid = self._ids.get(state)
+        if sid is None:
+            sid = len(self._states)
+            self._ids[state] = sid
+            self._states.append(state)
+            self._terminal.append(state.is_terminal)
+            self._attempts.append(state.attempt_count)
+            self._successors.append([-1] * (2 * len(self._actions)))
+        return sid
+
+    def state(self, sid: int) -> RecoveryState:
+        """The interned state with id ``sid``."""
+        return self._states[sid]
+
+    def is_terminal(self, sid: int) -> bool:
+        return self._terminal[sid]
+
+    def attempt_count(self, sid: int) -> int:
+        return self._attempts[sid]
+
+    def successor(self, sid: int, action_id: int, healthy: bool) -> int:
+        """Id of ``state(sid).after(actions[action_id], healthy)``.
+
+        Memoized: the successor state object is built (and interned) on
+        first traversal only; afterwards this is a pure integer lookup.
+        """
+        slot = 2 * action_id + (1 if healthy else 0)
+        row = self._successors[sid]
+        nxt = row[slot]
+        if nxt < 0:
+            nxt = self.intern(
+                self._states[sid].after(self._actions[action_id], healthy)
+            )
+            row[slot] = nxt
+        return nxt

@@ -14,7 +14,8 @@ from pathlib import Path
 from typing import Dict, Tuple, Union
 
 from repro.errors import LogFormatError
-from repro.learning.qtable import QTable
+from repro.learning.qtable import QTableBackend
+from repro.learning.qtable_array import create_qtable
 from repro.mdp.state import RecoveryState
 from repro.policies.trained import TrainedPolicy
 
@@ -109,7 +110,7 @@ def load_policy(path: PathLike) -> TrainedPolicy:
     return TrainedPolicy(rules, label=str(payload.get("label", "trained")))
 
 
-def qtable_to_payload(qtable: QTable) -> Dict[str, object]:
+def qtable_to_payload(qtable: QTableBackend) -> Dict[str, object]:
     """A Q-table (values and visit counts) as a JSON-serializable payload.
 
     Persisting the visit counts preserves the equation-(6) learning-rate
@@ -139,22 +140,30 @@ def qtable_to_payload(qtable: QTable) -> Dict[str, object]:
 
 
 def qtable_from_payload(
-    payload: Dict[str, object], *, alpha_floor: float = 0.0
-) -> QTable:
+    payload: Dict[str, object],
+    *,
+    alpha_floor: float = 0.0,
+    backend: str = "array",
+) -> QTableBackend:
     """Invert :func:`qtable_to_payload`.
 
-    ``alpha_floor`` is a training-time knob, not part of the payload,
-    and is supplied by the caller.
+    ``alpha_floor`` and ``backend`` are training-time knobs, not part of
+    the payload, and are supplied by the caller.  The payload is
+    backend-agnostic — a table saved under either backend restores onto
+    either (both are bit-identical in semantics), which is what lets a
+    checkpointed run resume under a different
+    ``QLearningConfig.backend``.
     """
     if payload.get("format") != _QTABLE_FORMAT:
         raise LogFormatError(
             f"expected format {_QTABLE_FORMAT!r}, "
             f"got {payload.get('format')!r}"
         )
-    qtable = QTable(
+    qtable = create_qtable(
         [str(a) for a in payload["actions"]],
         initial_value=float(payload.get("initial_value", 0.0)),
         alpha_floor=alpha_floor,
+        backend=backend,
     )
     for record in payload.get("entries", []):
         state = state_from_record(record)
@@ -170,7 +179,7 @@ def qtable_from_payload(
     return qtable
 
 
-def save_qtable(qtable: QTable, path: PathLike) -> int:
+def save_qtable(qtable: QTableBackend, path: PathLike) -> int:
     """Write a Q-table as JSON; see :func:`qtable_to_payload`.
 
     Returns the number of (state, action) pairs written.
@@ -183,11 +192,13 @@ def save_qtable(qtable: QTable, path: PathLike) -> int:
     return len(entries)
 
 
-def load_qtable(path: PathLike, *, alpha_floor: float = 0.0) -> QTable:
+def load_qtable(
+    path: PathLike, *, alpha_floor: float = 0.0, backend: str = "array"
+) -> QTableBackend:
     """Read a Q-table saved by :func:`save_qtable`.
 
-    Values and visit counts are restored exactly; ``alpha_floor`` is a
-    training-time knob and is supplied by the caller.
+    Values and visit counts are restored exactly; ``alpha_floor`` and
+    ``backend`` are training-time knobs and are supplied by the caller.
     """
     with open(path, "r", encoding="utf-8") as handle:
         try:
@@ -195,6 +206,8 @@ def load_qtable(path: PathLike, *, alpha_floor: float = 0.0) -> QTable:
         except json.JSONDecodeError as exc:
             raise LogFormatError(f"{path}: bad JSON: {exc}") from None
     try:
-        return qtable_from_payload(payload, alpha_floor=alpha_floor)
+        return qtable_from_payload(
+            payload, alpha_floor=alpha_floor, backend=backend
+        )
     except LogFormatError as exc:
         raise LogFormatError(f"{path}: {exc}") from None

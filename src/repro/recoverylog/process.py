@@ -66,6 +66,17 @@ class RecoveryProcess:
     machine: str
     entries: Tuple[LogEntry, ...]
 
+    def __hash__(self) -> int:
+        # Same fields as the generated dataclass hash, but memoized:
+        # value-keyed caches (e.g. the simulation platform's required
+        # strengths) hash processes on every replay step, and rehashing
+        # the whole entry tuple each time is O(|entries|).
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.machine, self.entries))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def __post_init__(self) -> None:
         if len(self.entries) < 2:
             raise SegmentationError(

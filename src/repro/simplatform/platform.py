@@ -14,13 +14,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.actions.action import ActionCatalog
 from repro.errors import (
     ConfigurationError,
     SimulationError,
     UnhandledStateError,
+    UnknownActionError,
 )
 from repro.mdp.state import RecoveryState
 from repro.policies.base import Policy
@@ -28,7 +29,13 @@ from repro.recoverylog.process import RecoveryProcess
 from repro.simplatform.coststats import CostStatistics
 from repro.simplatform.hypotheses import covers, required_strengths
 
-__all__ = ["CostMode", "StepOutcome", "ReplayResult", "SimulationPlatform"]
+__all__ = [
+    "CostMode",
+    "StepOutcome",
+    "ReplayResult",
+    "CompiledReplay",
+    "SimulationPlatform",
+]
 
 
 class CostMode(enum.Enum):
@@ -102,6 +109,62 @@ class ReplayResult:
     forced_manual: bool = False
 
 
+@dataclass(frozen=True)
+class CompiledReplay:
+    """Integer-indexed view of a platform's processes for fast replay.
+
+    Everything :meth:`SimulationPlatform.step` consults per step —
+    required strengths, the logged attempt at each position, average
+    costs — precomputed into plain lists indexed by process index and
+    action id (catalog position, which equals strength rank since the
+    catalog orders actions by ascending strength).  The fast training
+    loop then decides success, cost and log-matching with integer
+    compares only; bit-identical to ``step`` by construction:
+
+    * ``covers`` over strength multisets is equivalent to cumulative
+      rank-count dominance (for every rank ``r``, the number of executed
+      actions of rank >= r must reach ``required_ge[pidx][r]``), because
+      the catalog's id order is a strictly monotone image of its
+      strength order;
+    * costs are the same ``CostStatistics`` values, just read from a
+      per-type row instead of recomputed per call.
+
+    Attributes
+    ----------
+    actions:
+        Catalog action names; positions are action ids.
+    actual_mode:
+        Whether matching attempts are charged their logged duration
+        (``CostMode.ACTUAL_WHEN_MATCHING``).
+    required_ge:
+        Per process: ``required_ge[r]`` counts required occurrences of
+        rank >= r, or ``None`` when the process references an action
+        outside the catalog (the error then surfaces on first use, as
+        on the uncompiled path).
+    attempt_aids:
+        Per process, per attempt position: the logged action id, or -1
+        when the logged action is not in the catalog (matches nothing).
+    attempt_succeeded / attempt_durations:
+        Per process, per attempt position: the logged outcome/duration.
+    success_cost / failure_cost:
+        Per process, per action id: the average-cost fallbacks for the
+        process's error type (rows shared between same-type processes).
+    """
+
+    actions: Tuple[str, ...]
+    actual_mode: bool
+    required_ge: Tuple[Optional[Tuple[int, ...]], ...]
+    attempt_aids: Tuple[Tuple[int, ...], ...]
+    attempt_succeeded: Tuple[Tuple[bool, ...], ...]
+    attempt_durations: Tuple[Tuple[float, ...], ...]
+    success_cost: Tuple[Tuple[float, ...], ...]
+    failure_cost: Tuple[Tuple[float, ...], ...]
+
+    @property
+    def n_actions(self) -> int:
+        return len(self.actions)
+
+
 class SimulationPlatform:
     """Counterfactual replay over an ensemble of recovery processes.
 
@@ -148,14 +211,30 @@ class SimulationPlatform:
         self._cost_mode = cost_mode
         self._last_action_only = last_action_only
         self._max_actions = max_actions
-        # Required strengths are replay-invariant; cache per process id.
-        # Each entry pins the process object: holding the reference keeps
-        # the id from being recycled by a *different* transient process
-        # (which would silently return the wrong strengths), and the
-        # identity check guards against any remaining aliasing.
-        self._required_cache: Dict[
-            int, Tuple[RecoveryProcess, Tuple[int, ...]]
+        # Required strengths are replay-invariant, so precompute them for
+        # the platform's own processes.  Keying by process *value* (the
+        # frozen dataclass, with a memoized hash) bounds the cache to
+        # this ensemble — unlike an id-keyed dict it cannot grow across
+        # scenarios, and value-equal duplicates share one entry.  A
+        # process referencing an action outside the catalog is skipped
+        # here so the UnknownActionError still surfaces on first replay,
+        # exactly like the lazily computed path.
+        self._required_by_process: Dict[
+            RecoveryProcess, Tuple[int, ...]
         ] = {}
+        for process in self._processes:
+            if process not in self._required_by_process:
+                try:
+                    self._required_by_process[process] = required_strengths(
+                        process,
+                        self._catalog,
+                        last_action_only=self._last_action_only,
+                    )
+                except UnknownActionError:
+                    pass
+        self._compiled: Optional[CompiledReplay] = None
+        self._process_index: Optional[Dict[RecoveryProcess, int]] = None
+        self._forced_name = self._catalog.strongest.name
 
     # ------------------------------------------------------------------
     @property
@@ -175,17 +254,124 @@ class SimulationPlatform:
         return self._max_actions
 
     def _required(self, process: RecoveryProcess) -> Tuple[int, ...]:
-        key = id(process)  # repro-lint: disable=R1 entry pins the process, verified by 'is'
-        entry = self._required_cache.get(key)
-        if entry is None or entry[0] is not process:
+        required = self._required_by_process.get(process)
+        if required is None:
+            # Foreign (or unknown-action) process: compute uncached so
+            # the dictionary stays bounded by the platform's ensemble.
             required = required_strengths(
                 process, self._catalog, last_action_only=self._last_action_only
             )
-            entry = (process, required)
-            self._required_cache[key] = entry
-        return entry[1]
+        return required
 
     # ------------------------------------------------------------------
+    def forced_action(self, attempt_count: int) -> Optional[str]:
+        """The action the ``N``-cap forces after ``attempt_count`` tries.
+
+        The paper bounds every recovery at ``N`` actions by forcing the
+        manual (strongest) repair on the final slot — so the last free
+        choice happens at ``attempt_count == max_actions - 2`` and from
+        ``max_actions - 1`` on the manual action is mandatory.  Returns
+        ``None`` while the policy may still choose.  Single source of
+        the cap rule for :meth:`replay` and the trainer's episode loops.
+        """
+        if attempt_count >= self._max_actions - 1:
+            return self._forced_name
+        return None
+
+    def compiled(self) -> CompiledReplay:
+        """The integer-indexed replay view of this platform's processes.
+
+        Built once, on first use (training platforms pay; evaluation
+        platforms that never ask don't), and immutable thereafter —
+        it is keyed to the platform's own ``processes`` tuple.
+        """
+        if self._compiled is None:
+            self._compiled = self._compile()
+        return self._compiled
+
+    def process_index(self, process: RecoveryProcess) -> int:
+        """Index of ``process`` in :attr:`processes` (first value match).
+
+        Raises :class:`SimulationError` for processes outside the
+        platform's ensemble; value-equal duplicates share the first
+        index, which is sound because the compiled view depends only on
+        the process value.
+        """
+        if self._process_index is None:
+            index: Dict[RecoveryProcess, int] = {}
+            for position, candidate in enumerate(self._processes):
+                index.setdefault(candidate, position)
+            self._process_index = index
+        position = self._process_index.get(process)
+        if position is None:
+            raise SimulationError(
+                f"process on {process.machine!r} starting at "
+                f"{process.start_time} is not part of this platform"
+            )
+        return position
+
+    def _compile(self) -> CompiledReplay:
+        actions = tuple(self._catalog.names())
+        n_actions = len(actions)
+        action_ids = {name: aid for aid, name in enumerate(actions)}
+        rank_of_strength = {
+            action.strength: aid
+            for aid, action in enumerate(self._catalog.by_strength())
+        }
+        cost_rows: Dict[str, Tuple[Tuple[float, ...], Tuple[float, ...]]] = {}
+        required_ge: List[Optional[Tuple[int, ...]]] = []
+        attempt_aids: List[Tuple[int, ...]] = []
+        attempt_succeeded: List[Tuple[bool, ...]] = []
+        attempt_durations: List[Tuple[float, ...]] = []
+        success_cost: List[Tuple[float, ...]] = []
+        failure_cost: List[Tuple[float, ...]] = []
+        for process in self._processes:
+            required = self._required_by_process.get(process)
+            if required is None:
+                required_ge.append(None)
+            else:
+                counts = [0] * n_actions
+                for strength in required:
+                    counts[rank_of_strength[strength]] += 1
+                cumulative = [0] * n_actions
+                running = 0
+                for rank in range(n_actions - 1, -1, -1):
+                    running += counts[rank]
+                    cumulative[rank] = running
+                required_ge.append(tuple(cumulative))
+            attempts = process.attempts
+            attempt_aids.append(
+                tuple(action_ids.get(a.action, -1) for a in attempts)
+            )
+            attempt_succeeded.append(tuple(a.succeeded for a in attempts))
+            attempt_durations.append(tuple(a.duration for a in attempts))
+            error_type = process.error_type
+            rows = cost_rows.get(error_type)
+            if rows is None:
+                rows = (
+                    tuple(
+                        self._stats.success_cost(error_type, name)
+                        for name in actions
+                    ),
+                    tuple(
+                        self._stats.failure_cost(error_type, name)
+                        for name in actions
+                    ),
+                )
+                cost_rows[error_type] = rows
+            success_cost.append(rows[0])
+            failure_cost.append(rows[1])
+        return CompiledReplay(
+            actions=actions,
+            actual_mode=self._cost_mode is CostMode.ACTUAL_WHEN_MATCHING,
+            required_ge=tuple(required_ge),
+            attempt_aids=tuple(attempt_aids),
+            attempt_succeeded=tuple(attempt_succeeded),
+            attempt_durations=tuple(attempt_durations),
+            success_cost=tuple(success_cost),
+            failure_cost=tuple(failure_cost),
+        )
+
     def initial_cost(self, process: RecoveryProcess) -> float:
         """Detection segment: first symptom to first repair action."""
         attempts = process.attempts
@@ -256,8 +442,9 @@ class SimulationPlatform:
         actions = []
         forced_manual = False
         while not state.is_terminal:
-            if state.attempt_count >= self._max_actions - 1:
-                action_name = self._catalog.strongest.name
+            forced = self.forced_action(state.attempt_count)
+            if forced is not None:
+                action_name = forced
                 forced_manual = True
             else:
                 try:

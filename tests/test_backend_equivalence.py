@@ -1,0 +1,374 @@
+"""Dict/array Q-table backend equivalence.
+
+The array backend (:class:`~repro.learning.qtable_array.ArrayQTable`)
+is a pure performance transformation of the reference dict backend: the
+contract is *bit-identical* behaviour — same Q values, visit counts,
+greedy policy, RNG draw sequence and convergence sweeps.  This module
+enforces the contract at three levels:
+
+* hypothesis property tests drive both backends through random
+  update/restore/query sequences and compare every observable after
+  every operation;
+* end-to-end ``train_type`` courses under both backends (and both
+  exploration strategies) must produce identical tables and metadata;
+* the parallel engine and checkpoint/resume must behave identically
+  across backends — including a checkpoint written under one backend
+  resuming under the other, in both directions.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import ladder_processes
+from repro.actions import default_catalog
+from repro.core import PipelineConfig, RecoveryPolicyLearner
+from repro.errors import ConfigurationError
+from repro.learning.parallel import ParallelTrainingEngine
+from repro.learning.qlearning import QLearningConfig, QLearningTrainer
+from repro.learning.qtable import QTable, QTableBackend
+from repro.learning.qtable_array import (
+    QTABLE_BACKENDS,
+    ArrayQTable,
+    create_qtable,
+)
+from repro.learning.selection_tree import SelectionTreeConfig
+from repro.mdp.state import RecoveryState
+from repro.simplatform.platform import SimulationPlatform
+
+CATALOG = default_catalog()
+ACTIONS = tuple(CATALOG.names())
+
+# A small pool of states (one chain plus branches) so random operation
+# sequences revisit states often enough to exercise greedy flips.
+_S0 = RecoveryState.initial("error:X")
+STATES = [
+    _S0,
+    _S0.after("TRYNOP", False),
+    _S0.after("REBOOT", False),
+    _S0.after("TRYNOP", False).after("REBOOT", False),
+    _S0.after("TRYNOP", False).after("TRYNOP", False),
+    RecoveryState.initial("error:Y"),
+]
+TERMINAL = _S0.after("REBOOT", True)
+
+_targets = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("update"),
+            st.integers(0, len(STATES) - 1),
+            st.integers(0, len(ACTIONS) - 1),
+            _targets,
+        ),
+        st.tuples(
+            st.just("restore"),
+            st.integers(0, len(STATES) - 1),
+            st.integers(0, len(ACTIONS) - 1),
+            _targets,
+            st.integers(1, 50),
+        ),
+        st.tuples(st.just("check_policy")),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def observables(table: QTableBackend):
+    """Everything the protocol exposes, as one comparable structure."""
+    return {
+        "len": len(table),
+        "states": list(table.states()),
+        "cells": {
+            (state, action): (
+                table.value(state, action),
+                table.visit_count(state, action),
+            )
+            for state in STATES
+            for action in ACTIONS
+        },
+        "rows": {state: table.values_for(state) for state in STATES},
+        "totals": {state: table.total_visits(state) for state in STATES},
+        "greedy": {state: table.greedy_action(state) for state in STATES},
+        "ranked": {state: table.ranked_actions(state) for state in STATES},
+        "bootstrap": {
+            state: table.bootstrap_value(state)
+            for state in STATES + [TERMINAL]
+        },
+        "min": {
+            state: table.min_value(state) for state in STATES + [TERMINAL]
+        },
+        "underexplored": {
+            (state, k): table.underexplored_action(state, k)
+            for state in STATES
+            for k in (0, 1, 3)
+        },
+        "known": {state: table.known(state) for state in STATES},
+    }
+
+
+class TestPropertyEquivalence:
+    @given(ops=_ops, alpha_floor=st.sampled_from([0.0, 0.08, 0.5]))
+    @settings(max_examples=120, deadline=None)
+    def test_random_operation_sequences_match(self, ops, alpha_floor):
+        reference = QTable(ACTIONS, alpha_floor=alpha_floor)
+        fast = ArrayQTable(ACTIONS, alpha_floor=alpha_floor)
+        for op in ops:
+            if op[0] == "update":
+                _, si, ai, target = op
+                delta_ref = reference.update(STATES[si], ACTIONS[ai], target)
+                delta_fast = fast.update(STATES[si], ACTIONS[ai], target)
+                assert delta_ref == delta_fast
+            elif op[0] == "restore":
+                _, si, ai, value, visits = op
+                reference.restore(STATES[si], ACTIONS[ai], value, visits)
+                fast.restore(STATES[si], ACTIONS[ai], value, visits)
+            else:
+                assert (
+                    reference.greedy_policy_changed()
+                    == fast.greedy_policy_changed()
+                )
+            # Exact equality on purpose: floats must match bit for bit.
+            assert observables(reference) == observables(fast)
+
+    @given(ops=_ops)
+    @settings(max_examples=40, deadline=None)
+    def test_policy_change_flag_between_sequences(self, ops):
+        """The convergence flag agrees when checked only at the end."""
+        reference = QTable(ACTIONS)
+        fast = ArrayQTable(ACTIONS)
+        assert (
+            reference.greedy_policy_changed() == fast.greedy_policy_changed()
+        )
+        for op in ops:
+            if op[0] == "update":
+                _, si, ai, target = op
+                reference.update(STATES[si], ACTIONS[ai], target)
+                fast.update(STATES[si], ACTIONS[ai], target)
+            elif op[0] == "restore":
+                _, si, ai, value, visits = op
+                reference.restore(STATES[si], ACTIONS[ai], value, visits)
+                fast.restore(STATES[si], ACTIONS[ai], value, visits)
+        assert (
+            reference.greedy_policy_changed() == fast.greedy_policy_changed()
+        )
+        # And once more with no writes in between: both must say stable.
+        assert reference.greedy_policy_changed() is False
+        assert fast.greedy_policy_changed() is False
+
+
+class TestFactory:
+    def test_backends_registry(self):
+        assert set(QTABLE_BACKENDS) == {"array", "dict"}
+        assert isinstance(create_qtable(ACTIONS, backend="dict"), QTable)
+        assert isinstance(create_qtable(ACTIONS, backend="array"), ArrayQTable)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            create_qtable(ACTIONS, backend="sparse")
+        with pytest.raises(ConfigurationError, match="backend"):
+            QLearningConfig(backend="sparse")
+
+    def test_both_satisfy_protocol(self):
+        assert isinstance(QTable(ACTIONS), QTableBackend)
+        assert isinstance(ArrayQTable(ACTIONS), QTableBackend)
+
+
+def _ladder_groups():
+    hard = ladder_processes(
+        "error:Hard",
+        [(["TRYNOP", "REBOOT", "REBOOT", "REIMAGE"], 12),
+         (["TRYNOP", "REBOOT"], 2)],
+        realistic_durations=True,
+    )
+    soft = ladder_processes(
+        "error:Soft",
+        [(["TRYNOP"], 10), (["TRYNOP", "REBOOT"], 5)],
+        realistic_durations=True,
+        machine_prefix="s",
+    )
+    return {"error:Hard": hard, "error:Soft": soft}
+
+
+def _train(backend: str, exploration: str = "boltzmann"):
+    groups = _ladder_groups()
+    ensemble = [p for ps in groups.values() for p in ps]
+    platform = SimulationPlatform(ensemble, CATALOG)
+    trainer = QLearningTrainer(
+        platform,
+        QLearningConfig(
+            max_sweeps=60,
+            episodes_per_sweep=8,
+            seed=5,
+            backend=backend,
+            exploration=exploration,
+        ),
+    )
+    return {
+        error_type: trainer.train_type(error_type, processes)
+        for error_type, processes in groups.items()
+    }
+
+
+def _result_snapshot(result, include_order=True):
+    table = result.qtable
+    return (
+        result.sweeps_run,
+        result.sweeps_to_convergence,
+        result.converged,
+        result.episodes,
+        {
+            (state, action): (
+                table.value(state, action),
+                table.visit_count(state, action),
+            )
+            for state in table.states()
+            for action in table.action_names
+        },
+        # First-visit iteration order; meaningful only when both courses
+        # trained live (a JSON round-trip legitimately re-sorts states).
+        list(table.states()) if include_order else None,
+    )
+
+
+class TestEndToEndBitIdentical:
+    @pytest.mark.parametrize("exploration", ["boltzmann", "epsilon"])
+    def test_train_type_identical_across_backends(self, exploration):
+        by_dict = _train("dict", exploration)
+        by_array = _train("array", exploration)
+        assert by_dict.keys() == by_array.keys()
+        for error_type in by_dict:
+            assert _result_snapshot(by_dict[error_type]) == _result_snapshot(
+                by_array[error_type]
+            ), f"backends diverged on {error_type} ({exploration})"
+
+    def test_array_backend_is_default(self):
+        assert QLearningConfig().backend == "array"
+        result = _train("array")["error:Soft"]
+        assert isinstance(result.qtable, ArrayQTable)
+
+
+class TestParallelEngineBackends:
+    def test_engine_outcomes_identical_across_backends(self):
+        groups = _ladder_groups()
+        ensemble = [p for ps in groups.values() for p in ps]
+        snapshots = {}
+        for backend in QTABLE_BACKENDS:
+            engine = ParallelTrainingEngine(
+                ensemble,
+                CATALOG,
+                qlearning=QLearningConfig(
+                    max_sweeps=40, episodes_per_sweep=8, seed=3,
+                    backend=backend,
+                ),
+                tree=SelectionTreeConfig(min_sweeps=10, check_interval=5),
+                n_workers=1,
+            )
+            outcomes = engine.train(groups)
+            snapshots[backend] = {
+                error_type: (
+                    _result_snapshot(outcome.training),
+                    outcome.rules,
+                    outcome.expected_cost,
+                )
+                for error_type, outcome in outcomes.items()
+            }
+        assert snapshots["dict"] == snapshots["array"]
+
+
+class TestCheckpointCrossBackend:
+    """A checkpoint written under one backend resumes under the other."""
+
+    def _config(self, backend, checkpoint_dir, resume):
+        return PipelineConfig(
+            top_k_types=3,
+            qlearning=QLearningConfig(
+                max_sweeps=40, episodes_per_sweep=8, seed=3, backend=backend
+            ),
+            tree=SelectionTreeConfig(min_sweeps=10, check_interval=5),
+            checkpoint_dir=str(checkpoint_dir) if checkpoint_dir else None,
+            resume=resume,
+        )
+
+    def _fit(self, processes, backend, checkpoint_dir=None, resume=False):
+        return RecoveryPolicyLearner(
+            config=self._config(backend, checkpoint_dir, resume)
+        ).fit(processes)
+
+    def _learner_snapshot(self, learner):
+        assert learner.training_result_ is not None
+        return (
+            {
+                error_type: _result_snapshot(result, include_order=False)
+                for error_type, result in (
+                    learner.training_result_.per_type.items()
+                )
+            },
+            learner.rules_,
+        )
+
+    @pytest.mark.parametrize(
+        "write_backend,resume_backend",
+        [("dict", "array"), ("array", "dict")],
+    )
+    def test_resume_across_backends(
+        self, tmp_path, small_processes, write_backend, resume_backend
+    ):
+        checkpoint_dir = tmp_path / "ckpt"
+        written = self._fit(
+            small_processes, write_backend, checkpoint_dir, resume=False
+        )
+        resumed = self._fit(
+            small_processes, resume_backend, checkpoint_dir, resume=True
+        )
+        # Every type must come from the checkpoint: the fingerprint
+        # deliberately ignores the backend knob.
+        assert resumed.outcomes_ is not None
+        assert all(
+            outcome.from_checkpoint
+            for outcome in resumed.outcomes_.values()
+        )
+        # And the resumed run is bit-identical to a fresh run under the
+        # resuming backend (which equals the writing run by the
+        # end-to-end equivalence above).
+        fresh = self._fit(small_processes, resume_backend)
+        assert self._learner_snapshot(resumed) == self._learner_snapshot(
+            fresh
+        )
+        assert self._learner_snapshot(resumed) == self._learner_snapshot(
+            written
+        )
+
+    def test_backend_change_keeps_fingerprint(self, tmp_path):
+        """Only the backend differs -> the same checkpoint fingerprint."""
+        learners = {
+            backend: RecoveryPolicyLearner(
+                config=self._config(backend, tmp_path, resume=False)
+            )
+            for backend in QTABLE_BACKENDS
+        }
+        stores = {
+            backend: learner._make_checkpoint_store()
+            for backend, learner in learners.items()
+        }
+        assert stores["dict"].fingerprint == stores["array"].fingerprint
+
+    def test_other_knobs_still_invalidate(self, tmp_path):
+        base = RecoveryPolicyLearner(
+            config=self._config("array", tmp_path, resume=False)
+        )
+        changed = RecoveryPolicyLearner(
+            config=dataclasses.replace(
+                self._config("array", tmp_path, resume=False),
+                max_actions=7,
+            )
+        )
+        assert (
+            base._make_checkpoint_store().fingerprint
+            != changed._make_checkpoint_store().fingerprint
+        )

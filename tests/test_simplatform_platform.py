@@ -174,3 +174,215 @@ class TestReplay:
     def test_bad_max_actions_rejected(self):
         with pytest.raises(Exception):
             platform_for([make_process(["REBOOT"])], max_actions=1)
+
+
+class TestForcedActionCap:
+    """The N-cap rule lives in one place: ``forced_action``.
+
+    Both ``replay`` and the trainer's episode loops consult it, so the
+    boundary — the manual repair becomes mandatory exactly at
+    ``attempt_count == max_actions - 1`` — is pinned here once.
+    """
+
+    def test_boundary_is_max_actions_minus_one(self):
+        platform = platform_for([make_process(["RMA"])], max_actions=5)
+        assert [platform.forced_action(n) for n in range(4)] == [None] * 4
+        assert platform.forced_action(4) == "RMA"
+        assert platform.forced_action(11) == "RMA"
+
+    def test_replay_forces_exactly_at_the_last_slot(self):
+        process = make_process(["RMA"])  # only the strongest cures
+        platform = platform_for([process], max_actions=4)
+        stuck = TrainedPolicy(
+            {
+                RecoveryState("error:X", tried=("TRYNOP",) * n): (
+                    "TRYNOP",
+                    0.0,
+                )
+                for n in range(4)
+            },
+            label="stuck",
+        )
+        result = platform.replay(process, stuck)
+        assert result.forced_manual
+        # Three free choices (attempt counts 0..max_actions - 2), then
+        # the forced manual repair at attempt_count == max_actions - 1.
+        assert result.actions == ("TRYNOP",) * 3 + ("RMA",)
+        assert platform.forced_action(len(result.actions) - 1) == "RMA"
+        assert platform.forced_action(len(result.actions) - 2) is None
+
+    def test_trainer_episode_obeys_the_same_boundary(self):
+        from repro.learning.exploration import BoltzmannExplorer
+        from repro.learning.qlearning import QLearningConfig, QLearningTrainer
+        from repro.learning.qtable_array import create_qtable
+
+        process = make_process(["RMA"])
+        platform = platform_for([process], max_actions=3)
+        for backend in ("dict", "array"):
+            trainer = QLearningTrainer(
+                platform,
+                QLearningConfig(min_visits_per_action=5, backend=backend),
+            )
+            qtable = create_qtable(CATALOG.names(), backend=backend)
+            trajectory = trainer.run_episode(
+                qtable, BoltzmannExplorer(seed=0), process, sweep=0
+            )
+            # Forced exploration keeps proposing TRYNOP (fresh states,
+            # catalog-order tie break) until the cap forces the manual
+            # repair at attempt_count == max_actions - 1.
+            assert [t[1] for t in trajectory] == ["TRYNOP", "TRYNOP", "RMA"]
+            assert trajectory[-1][0].attempt_count == platform.max_actions - 1
+
+
+class TestRequiredStrengthsCache:
+    def test_precomputed_for_the_ensemble_by_value(self):
+        processes = ladder_processes(
+            "error:X", [(["TRYNOP", "REBOOT"], 3), (["REIMAGE"], 2)]
+        )
+        platform = platform_for(processes)
+        assert set(platform._required_by_process) == set(processes)
+
+    def test_value_equal_duplicates_share_one_entry(self):
+        process = make_process(["TRYNOP", "REBOOT"])
+        duplicate = make_process(["TRYNOP", "REBOOT"])
+        assert process == duplicate and process is not duplicate
+        platform = platform_for([process, duplicate])
+        assert len(platform._required_by_process) == 1
+
+    def test_foreign_process_replays_without_growing_the_cache(self):
+        platform = platform_for([make_process(["TRYNOP", "REBOOT"])])
+        foreign = make_process(["REIMAGE"], machine="m-foreign")
+        before = dict(platform._required_by_process)
+        outcome = platform.step(
+            foreign, RecoveryState.initial("error:X"), "REIMAGE"
+        )
+        assert outcome.succeeded
+        assert platform._required_by_process == before
+
+    def test_unknown_logged_action_surfaces_at_first_step(self):
+        from repro.errors import UnknownActionError
+        from repro.recoverylog.entry import LogEntry
+        from repro.recoverylog.process import RecoveryProcess
+
+        weird = RecoveryProcess(
+            "m",
+            (
+                LogEntry.symptom(0.0, "m", "error:X"),
+                LogEntry.action(60.0, "m", "FROBNICATE"),
+                LogEntry.success(600.0, "m"),
+            ),
+        )
+        # Construction must not raise: the error belongs to replay time,
+        # exactly as with the lazily computed required strengths.
+        platform = platform_for([weird, make_process(["REBOOT"])])
+        with pytest.raises(UnknownActionError):
+            platform.step(
+                weird, RecoveryState.initial("error:X"), "REBOOT"
+            )
+
+
+def _fast_succeeds(compiled, pidx, executed_counts):
+    """The fast loop's success rule: cumulative rank-count dominance."""
+    required = compiled.required_ge[pidx]
+    running = 0
+    for rank in range(compiled.n_actions - 1, -1, -1):
+        running += executed_counts[rank]
+        if running < required[rank]:
+            return False
+    return True
+
+
+class TestCompiledReplay:
+    def _platform(self):
+        processes = ladder_processes(
+            "error:X",
+            [(["TRYNOP", "REBOOT"], 2), (["TRYNOP", "REBOOT", "REIMAGE"], 2),
+             (["RMA"], 1)],
+            realistic_durations=True,
+        )
+        return platform_for(processes)
+
+    def test_compiled_is_built_once(self):
+        platform = self._platform()
+        assert platform.compiled() is platform.compiled()
+
+    def test_action_ids_are_catalog_positions(self):
+        platform = self._platform()
+        assert platform.compiled().actions == tuple(CATALOG.names())
+
+    def test_process_index_first_match_and_foreign_rejection(self):
+        process = make_process(["TRYNOP", "REBOOT"])
+        duplicate = make_process(["TRYNOP", "REBOOT"])
+        platform = platform_for([process, duplicate])
+        assert platform.process_index(process) == 0
+        assert platform.process_index(duplicate) == 0
+        with pytest.raises(SimulationError, match="not part"):
+            platform.process_index(make_process(["RMA"], machine="x"))
+
+    def test_success_rule_matches_step_exactly(self):
+        platform = self._platform()
+        compiled = platform.compiled()
+        names = compiled.actions
+        for pidx, process in enumerate(platform.processes):
+            # Walk every two-action prefix; compare the compiled success
+            # decision against the reference ``covers``-based step.
+            for first in range(compiled.n_actions):
+                state = RecoveryState.initial(process.error_type)
+                outcome = platform.step(process, state, names[first])
+                counts = [0] * compiled.n_actions
+                counts[first] += 1
+                assert _fast_succeeds(compiled, pidx, counts) == (
+                    outcome.succeeded
+                ), (pidx, names[first])
+                if outcome.succeeded:
+                    continue
+                for second in range(compiled.n_actions):
+                    follow = platform.step(
+                        process, outcome.next_state, names[second]
+                    )
+                    counts2 = list(counts)
+                    counts2[second] += 1
+                    assert _fast_succeeds(compiled, pidx, counts2) == (
+                        follow.succeeded
+                    ), (pidx, names[first], names[second])
+
+    def test_logged_attempts_and_costs_mirror_the_process(self):
+        platform = self._platform()
+        compiled = platform.compiled()
+        names = list(compiled.actions)
+        for pidx, process in enumerate(platform.processes):
+            attempts = process.attempts
+            assert compiled.attempt_aids[pidx] == tuple(
+                names.index(a.action) for a in attempts
+            )
+            assert compiled.attempt_succeeded[pidx] == tuple(
+                a.succeeded for a in attempts
+            )
+            assert compiled.attempt_durations[pidx] == tuple(
+                a.duration for a in attempts
+            )
+            for aid, name in enumerate(names):
+                assert compiled.success_cost[pidx][aid] == (
+                    platform.stats.success_cost(process.error_type, name)
+                )
+                assert compiled.failure_cost[pidx][aid] == (
+                    platform.stats.failure_cost(process.error_type, name)
+                )
+
+    def test_unknown_action_process_is_marked_uncompilable(self):
+        from repro.recoverylog.entry import LogEntry
+        from repro.recoverylog.process import RecoveryProcess
+
+        weird = RecoveryProcess(
+            "m",
+            (
+                LogEntry.symptom(0.0, "m", "error:X"),
+                LogEntry.action(60.0, "m", "FROBNICATE"),
+                LogEntry.success(600.0, "m"),
+            ),
+        )
+        platform = platform_for([weird, make_process(["REBOOT"])])
+        compiled = platform.compiled()
+        assert compiled.required_ge[0] is None
+        assert compiled.attempt_aids[0] == (-1,)
+        assert compiled.required_ge[1] is not None
