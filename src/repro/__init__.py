@@ -38,6 +38,16 @@ from repro.recoverylog import (
     write_log_jsonl,
     write_log_text,
 )
+from repro.session import (
+    Environment,
+    EpisodeTelemetry,
+    EpisodeTrace,
+    RecoverySession,
+    ReplayEnvironment,
+    StepTrace,
+    drive,
+    drive_batch,
+)
 from repro.tracegen import (
     TraceConfig,
     default_config,
@@ -70,6 +80,14 @@ __all__ = [
     "write_log_text",
     "read_log_jsonl",
     "write_log_jsonl",
+    "Environment",
+    "EpisodeTelemetry",
+    "EpisodeTrace",
+    "RecoverySession",
+    "ReplayEnvironment",
+    "StepTrace",
+    "drive",
+    "drive_batch",
     "TraceConfig",
     "default_config",
     "paper_scale_config",

@@ -26,9 +26,10 @@ from repro.cluster.faults import (
 from repro.cluster.machine import Machine, MachineState
 from repro.cluster.monitor import EventMonitor
 from repro.errors import ConfigurationError
-from repro.mdp.state import RecoveryState
 from repro.policies.base import Policy
 from repro.recoverylog.log import RecoveryLog
+from repro.session.core import RecoverySession
+from repro.session.trace import EpisodeTelemetry
 from repro.util.rng import RngStreams
 from repro.util.validation import (
     check_non_negative,
@@ -121,6 +122,11 @@ class ClusterSimulator:
         Action catalog; defaults to the paper's four actions.
     streams:
         Named RNG streams; pass the same seed for reproducible traces.
+    episode_telemetry:
+        Optional :class:`~repro.session.trace.EpisodeTelemetry` observer
+        receiving one trace per completed recovery (origin
+        ``"cluster"``).  Purely observational — attaching it never
+        changes the simulated log.
     """
 
     def __init__(
@@ -130,6 +136,8 @@ class ClusterSimulator:
         policy: Policy,
         actions: Optional[ActionCatalog] = None,
         streams: Optional[RngStreams] = None,
+        *,
+        episode_telemetry: Optional[EpisodeTelemetry] = None,
     ) -> None:
         self.config = config
         self.faults = faults
@@ -159,6 +167,13 @@ class ClusterSimulator:
         }
         # Which of a machine's overlapping faults remain uncured.
         self._uncured: Dict[str, List[FaultType]] = {}
+        # One live recovery session per machine currently recovering:
+        # the shared episode state machine decides (N-cap first, then
+        # the policy) when an action starts and observes the outcome
+        # when its completion event fires, possibly much later in
+        # simulated time.
+        self._sessions: Dict[str, RecoverySession] = {}
+        self._episode_telemetry = episode_telemetry
 
     # ------------------------------------------------------------------
     # Run
@@ -251,19 +266,22 @@ class ClusterSimulator:
 
     def _begin_recovery(self, machine: Machine, error_type: str) -> None:
         machine.begin_recovery()
-        self._decide_and_act(machine, error_type)
-
-    def _decide_and_act(self, machine: Machine, error_type: str) -> None:
-        state = RecoveryState(
-            error_type=error_type,
-            healthy=False,
-            tried=tuple(machine.actions_tried),
+        self._sessions[machine.name] = RecoverySession(
+            error_type,
+            self.policy,
+            max_actions=self.config.max_actions,
+            forced_action_name=self.actions.strongest.name,
+            origin="cluster",
         )
-        if state.attempt_count >= self.config.max_actions - 1:
-            # The paper's N-cap: end the process with a manual repair.
-            action = self.actions.strongest
-        else:
-            action = self.actions[self.policy.decide(state).action]
+        self._decide_and_act(machine)
+
+    def _decide_and_act(self, machine: Machine) -> None:
+        # The session enforces the paper's N-cap (manual repair on the
+        # final slot) before consulting the policy; an
+        # UnhandledStateError propagates, as the online path must never
+        # swallow a policy that cannot act.
+        session = self._sessions[machine.name]
+        action = self.actions[session.next_action().action]
         now = self.engine.now
         machine.record_attempt(action.name)
         self.monitor.record_action(now, machine.name, action.name)
@@ -272,13 +290,13 @@ class ClusterSimulator:
         duration = action.cost_model.sample(self._cost_rng) * scale
         self.engine.schedule_at(
             now + duration,
-            lambda m=machine, a=action, e=error_type: self._on_action_complete(
-                m, a, e
+            lambda m=machine, a=action, d=duration: self._on_action_complete(
+                m, a, d
             ),
         )
 
     def _on_action_complete(
-        self, machine: Machine, action: RepairAction, error_type: str
+        self, machine: Machine, action: RepairAction, duration: float
     ) -> None:
         remaining = [
             fault
@@ -288,7 +306,12 @@ class ClusterSimulator:
         ]
         self._uncured[machine.name] = remaining
         now = self.engine.now
+        session = self._sessions[machine.name]
+        session.record_outcome(duration, not remaining)
         if not remaining:
+            if self._episode_telemetry is not None:
+                self._episode_telemetry.on_episode(session.trace())
+            del self._sessions[machine.name]
             self.monitor.record_success(now, machine.name)
             machine.recover()
             self._schedule_next_fault(machine, from_time=now)
@@ -309,7 +332,7 @@ class ClusterSimulator:
         delay = self._sample_delay(self.config.decision_delay_mean)
         self.engine.schedule_after(
             delay,
-            lambda m=machine, e=error_type: self._decide_and_act(m, e),
+            lambda m=machine: self._decide_and_act(m),
         )
 
     def _sample_delay(self, mean: float) -> float:

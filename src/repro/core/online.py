@@ -23,6 +23,9 @@ from repro.policies.base import Policy
 from repro.policies.hybrid import HybridPolicy
 from repro.policies.user_defined import UserDefinedPolicy
 from repro.recoverylog.process import RecoveryProcess
+from repro.session.driver import EpisodeOutcome, drive
+from repro.session.environment import Environment
+from repro.session.trace import EpisodeTelemetry
 
 __all__ = ["RollingRetrainer"]
 
@@ -103,6 +106,27 @@ class RollingRetrainer:
     def current_policy(self) -> Policy:
         """The currently deployed policy (hybrid once trained)."""
         return self._policy
+
+    def recover(
+        self,
+        environment: Environment,
+        *,
+        telemetry: Optional[EpisodeTelemetry] = None,
+    ) -> EpisodeOutcome:
+        """Run one recovery with the currently deployed policy.
+
+        The episode executes through the shared session driver (origin
+        ``"online"``), so the deployed path enforces the same ``N``-cap
+        and emits the same per-step traces as replay, evaluation and
+        training.  The fallback (and any hybrid built on it) is proper,
+        so episodes driven by the deployed policy always complete.
+        """
+        return drive(
+            environment,
+            self.current_policy(),
+            origin="online",
+            telemetry=telemetry,
+        )
 
     def observe(self, process: RecoveryProcess) -> bool:
         """Feed one completed recovery process.

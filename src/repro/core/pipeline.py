@@ -251,7 +251,15 @@ class RecoveryPolicyLearner:
         processes = self._as_processes(test_source)
         if filter_test_noise:
             processes = filter_noise(processes, self.config.minp).clean
-        assert self.registry_ is not None
+        if self.registry_ is None:
+            # _require_fitted guarantees rules_; the registry is built in
+            # the same fit step, so a missing one means a partially
+            # constructed learner (e.g. hand-assigned rules_), which must
+            # fail loudly even under ``python -O``.
+            raise NotTrainedError(
+                "learner has rules but no error-type registry; call fit() "
+                "before make_evaluator()"
+            )
         return PolicyEvaluator(
             processes,
             self.catalog,

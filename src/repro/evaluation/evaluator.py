@@ -9,6 +9,7 @@ from repro.errors import EvaluationError
 from repro.evaluation.metrics import EvaluationResult, TypeEvaluation
 from repro.policies.base import Policy
 from repro.recoverylog.process import RecoveryProcess
+from repro.session.trace import EpisodeTelemetry
 from repro.simplatform.coststats import CostStatistics
 from repro.simplatform.platform import CostMode, SimulationPlatform
 
@@ -70,8 +71,12 @@ class PolicyEvaluator:
             self._types = sorted(present)
         else:
             self._types = [t for t in error_types if t in present]
+        # Keep every test process; out-of-scope ones are skipped (and
+        # counted) at evaluation time rather than silently dropped here.
+        self._all_processes = tuple(processes)
+        in_scope = set(self._types)
         self._processes = [
-            p for p in processes if p.error_type in set(self._types)
+            p for p in processes if p.error_type in in_scope
         ]
 
     @property
@@ -89,16 +94,36 @@ class PolicyEvaluator:
         policy: Policy,
         *,
         train_fraction: Optional[float] = None,
+        telemetry: Optional[EpisodeTelemetry] = None,
     ) -> EvaluationResult:
-        """Replay every test process under ``policy`` and aggregate."""
+        """Replay every test process under ``policy`` and aggregate.
+
+        Processes whose error type is outside the evaluation scope are
+        skipped explicitly and reported via ``EvaluationResult.skipped``
+        — they can never reach a per-type accumulator.  All replays run
+        through the shared session driver; batch-safe policies decide
+        over every concurrent replay in one ``decide_batch`` call per
+        wave.  Per-type sums accumulate in the original process order,
+        so results are bit-identical to one-at-a-time replay.
+        """
+        in_scope = set(self._types)
+        skipped = 0
+        evaluated = []
+        for process in self._all_processes:
+            if process.error_type not in in_scope:
+                skipped += 1
+                continue
+            evaluated.append(process)
+        replays = self._platform.replay_many(
+            evaluated, policy, origin="evaluation", telemetry=telemetry
+        )
         accumulators: Dict[str, _TypeAccumulator] = {
             t: _TypeAccumulator() for t in self._types
         }
-        for process in self._processes:
+        for process, result in zip(evaluated, replays):
             accumulator = accumulators[process.error_type]
             accumulator.total += 1
             accumulator.real_all += process.downtime
-            result = self._platform.replay(process, policy)
             if result.handled:
                 accumulator.handled += 1
                 accumulator.estimated += result.cost
@@ -118,4 +143,5 @@ class PolicyEvaluator:
             policy_name=policy.name,
             per_type=per_type,
             train_fraction=train_fraction,
+            skipped=skipped,
         )

@@ -68,11 +68,16 @@ class EvaluationResult:
         The split that produced the training data, when known.
     per_type:
         ``{error_type: TypeEvaluation}``.
+    skipped:
+        Test processes whose error type was outside the evaluation
+        scope (the paper evaluates the 40 most frequent types); they
+        contribute to no per-type figures.
     """
 
     policy_name: str
     per_type: Mapping[str, TypeEvaluation]
     train_fraction: Optional[float] = None
+    skipped: int = 0
 
     @property
     def total_estimated_cost(self) -> float:

@@ -17,8 +17,11 @@ into the parent's telemetry in deterministic type order (see
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.session.trace import EpisodeTelemetry, EpisodeTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.learning.qlearning import TypeTrainingResult
@@ -28,6 +31,7 @@ __all__ = [
     "TypeTelemetry",
     "TrainingTelemetry",
     "TelemetryRecorder",
+    "EpisodeRecorder",
     "replay_type_telemetry",
 ]
 
@@ -179,6 +183,64 @@ class TelemetryRecorder(TrainingTelemetry):
         record.sweeps_run = result.sweeps_run
         record.converged = result.converged
         record.finished = True
+
+
+class EpisodeRecorder(EpisodeTelemetry):
+    """Accumulate the episode traces every session-driven loop emits.
+
+    One recorder can observe several loops at once — pass it to the
+    evaluator, the trainer and the cluster simulator and the traces
+    interleave, distinguished by :attr:`EpisodeTrace.origin`.  Like all
+    telemetry it is a pure observer: attaching it never changes results.
+    """
+
+    def __init__(self) -> None:
+        self._traces: List[EpisodeTrace] = []
+
+    # -- EpisodeTelemetry hook -----------------------------------------
+    def on_episode(self, trace: EpisodeTrace) -> None:
+        self._traces.append(trace)
+
+    # -- queries -------------------------------------------------------
+    @property
+    def traces(self) -> Tuple[EpisodeTrace, ...]:
+        """All recorded traces, in arrival order."""
+        return tuple(self._traces)
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def by_origin(self, origin: str) -> Tuple[EpisodeTrace, ...]:
+        """Traces emitted by one loop (``"evaluation"``, ...)."""
+        return tuple(t for t in self._traces if t.origin == origin)
+
+    def episode_counts(self) -> Dict[str, int]:
+        """``{origin: episode count}`` across everything observed."""
+        return dict(Counter(t.origin for t in self._traces))
+
+    def forced_manual_count(self, origin: Optional[str] = None) -> int:
+        """Episodes where the ``N``-cap forced the manual repair."""
+        return sum(
+            1
+            for t in self._traces
+            if t.forced_manual and (origin is None or t.origin == origin)
+        )
+
+    def unhandled_count(self, origin: Optional[str] = None) -> int:
+        """Episodes aborted because the policy could not act."""
+        return sum(
+            1
+            for t in self._traces
+            if not t.handled and (origin is None or t.origin == origin)
+        )
+
+    def total_cost(self, origin: Optional[str] = None) -> float:
+        """Summed episode cost over handled episodes, in arrival order."""
+        total = 0.0
+        for t in self._traces:
+            if t.handled and (origin is None or t.origin == origin):
+                total += t.total_cost
+        return total
 
 
 def replay_type_telemetry(

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Union
 
+from repro.errors import UnhandledStateError
 from repro.mdp.state import RecoveryState
 
 __all__ = ["Policy", "PolicyDecision"]
@@ -40,6 +41,13 @@ class PolicyDecision:
 class Policy(abc.ABC):
     """Abstract recovery policy."""
 
+    #: Whether batching decisions preserves this policy's behaviour.
+    #: Deciding is a pure function of the state for every deterministic
+    #: policy, so interleaving decisions across concurrent sessions is
+    #: harmless; policies that consume internal RNG state per decision
+    #: (``RandomPolicy``) set this False and are driven sequentially.
+    batch_safe: bool = True
+
     @property
     @abc.abstractmethod
     def name(self) -> str:
@@ -57,6 +65,26 @@ class Policy(abc.ABC):
         ConfigurationError
             If ``state`` is terminal.
         """
+
+    def decide_batch(
+        self, states: Sequence[RecoveryState]
+    ) -> List[Union[PolicyDecision, UnhandledStateError]]:
+        """Decide for many concurrent sessions in one call.
+
+        Returns one entry per state, in order: the decision, or the
+        :class:`~repro.errors.UnhandledStateError` the policy would have
+        raised for that state (returned, not raised, so one unhandled
+        state cannot sink a whole batch).  The default loops over
+        :meth:`decide`; table-backed policies override it with a single
+        vectorized pass.
+        """
+        results: List[Union[PolicyDecision, UnhandledStateError]] = []
+        for state in states:
+            try:
+                results.append(self.decide(state))
+            except UnhandledStateError as exc:
+                results.append(exc)
+        return results
 
     def action_for(self, state: RecoveryState) -> str:
         """Convenience: the chosen action name only."""

@@ -10,6 +10,8 @@ policy's savings on the common cases.
 
 from __future__ import annotations
 
+from typing import List, Sequence, Union
+
 from repro.errors import UnhandledStateError
 from repro.mdp.state import RecoveryState
 from repro.policies.base import Policy, PolicyDecision
@@ -35,6 +37,8 @@ class HybridPolicy(Policy):
         self._fallback = fallback
         self._fallback_count = 0
         self._decision_count = 0
+        # Batching is only order-preserving if both components are.
+        self.batch_safe = trained.batch_safe and fallback.batch_safe
 
     @property
     def name(self) -> str:
@@ -72,3 +76,35 @@ class HybridPolicy(Policy):
             source=f"{self.name}:{self._trained.name}",
             expected_cost=decision.expected_cost,
         )
+
+    def decide_batch(
+        self, states: Sequence[RecoveryState]
+    ) -> List[Union[PolicyDecision, UnhandledStateError]]:
+        """Batch the trained pass, then fall back per miss.
+
+        The fallback counters advance exactly as they would under
+        per-state :meth:`decide` calls over the same states.
+        """
+        self._decision_count += len(states)
+        primary = self._trained.decide_batch(states)
+        results: List[Union[PolicyDecision, UnhandledStateError]] = []
+        for state, outcome in zip(states, primary):
+            if isinstance(outcome, UnhandledStateError):
+                self._fallback_count += 1
+                fallback_decision = self._fallback.decide(state)
+                results.append(
+                    PolicyDecision(
+                        action=fallback_decision.action,
+                        source=f"{self.name}:{self._fallback.name}",
+                        expected_cost=fallback_decision.expected_cost,
+                    )
+                )
+            else:
+                results.append(
+                    PolicyDecision(
+                        action=outcome.action,
+                        source=f"{self.name}:{self._trained.name}",
+                        expected_cost=outcome.expected_cost,
+                    )
+                )
+        return results

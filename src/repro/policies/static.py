@@ -91,6 +91,11 @@ class AlwaysStrongestPolicy(Policy):
 class RandomPolicy(Policy):
     """Choose uniformly at random among the catalog's actions."""
 
+    #: Each decision consumes internal RNG state, so interleaving
+    #: decisions across concurrent sessions changes the draws a given
+    #: session sees.  Batched drivers fall back to sequential episodes.
+    batch_safe = False
+
     def __init__(
         self,
         catalog: Optional[ActionCatalog] = None,

@@ -11,7 +11,7 @@ catch exactly that.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError, UnhandledStateError
 from repro.mdp.state import RecoveryState
@@ -89,3 +89,32 @@ class TrainedPolicy(Policy):
             )
         action, cost = rule
         return PolicyDecision(action=action, source=self.name, expected_cost=cost)
+
+    def decide_batch(
+        self, states: Sequence[RecoveryState]
+    ) -> List[Union[PolicyDecision, UnhandledStateError]]:
+        """One rule-table pass over a whole wave of concurrent states."""
+        rules = self._rules
+        source = self.name
+        results: List[Union[PolicyDecision, UnhandledStateError]] = []
+        for state in states:
+            if state.is_terminal:
+                raise ConfigurationError(
+                    f"cannot decide an action in terminal state {state}"
+                )
+            rule = rules.get(state)
+            if rule is None:
+                results.append(
+                    UnhandledStateError(
+                        f"no trained rule for state {state}; the pattern "
+                        "did not appear in the training log",
+                        state=state,
+                    )
+                )
+            else:
+                results.append(
+                    PolicyDecision(
+                        action=rule[0], source=source, expected_cost=rule[1]
+                    )
+                )
+        return results

@@ -1,0 +1,44 @@
+"""Unified recovery-session core shared by every episode loop.
+
+One state machine (:class:`RecoverySession`), one cap rule
+(:func:`forced_action`), one trace schema (:class:`EpisodeTrace`), and
+synchronous drivers (:func:`drive`, :func:`drive_batch`) behind a small
+:class:`Environment` protocol.  Log replay, policy evaluation, online
+cluster recovery and training episodes all execute through this package.
+"""
+
+from repro.session.core import (
+    RecoverySession,
+    SessionDecision,
+    Transition,
+    forced_action,
+)
+from repro.session.driver import EpisodeOutcome, drive, drive_batch
+from repro.session.environment import (
+    Environment,
+    ExecutionResult,
+    ReplayEnvironment,
+)
+from repro.session.trace import (
+    FORCED_SOURCE,
+    EpisodeTelemetry,
+    EpisodeTrace,
+    StepTrace,
+)
+
+__all__ = [
+    "RecoverySession",
+    "SessionDecision",
+    "Transition",
+    "forced_action",
+    "EpisodeOutcome",
+    "drive",
+    "drive_batch",
+    "Environment",
+    "ExecutionResult",
+    "ReplayEnvironment",
+    "FORCED_SOURCE",
+    "EpisodeTelemetry",
+    "EpisodeTrace",
+    "StepTrace",
+]

@@ -1,0 +1,336 @@
+"""The recovery-session core: one authoritative episode state machine.
+
+The paper's whole pipeline is a single loop — observe
+``(error_type, result, actions-tried)``, ask a policy, apply an action,
+observe the outcome, stop at the ``N`` = 20 action cap.  Historically the
+repo re-implemented that loop in four places (platform replay, the
+evaluator, the cluster simulator's online recovery, the trainer's
+episode loop), each enforcing the cap and emitting telemetry slightly
+differently.  :class:`RecoverySession` is the one implementation they
+all share now.
+
+The session is deliberately a *state machine*, not a closed loop:
+``next_action()`` produces the next decision and ``record_outcome()``
+advances the state.  Synchronous callers use the driver functions in
+:mod:`repro.session.driver`; the event-driven cluster simulator calls
+the two halves directly across simulated time (decide now, observe the
+outcome when the action's completion event fires).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError, SimulationError, UnhandledStateError
+from repro.mdp.state import RecoveryState
+from repro.policies.base import Policy, PolicyDecision
+from repro.session.trace import FORCED_SOURCE, EpisodeTrace, StepTrace
+
+__all__ = ["forced_action", "SessionDecision", "RecoverySession"]
+
+#: One recorded transition: ``(state, action, cost, next_state)`` — the
+#: exact tuple the Q-learning update consumes.
+Transition = Tuple[RecoveryState, str, float, RecoveryState]
+
+
+def forced_action(
+    attempt_count: int, max_actions: int, forced_name: str
+) -> Optional[str]:
+    """The action the ``N``-cap forces after ``attempt_count`` tries.
+
+    The paper bounds every recovery at ``max_actions`` actions by forcing
+    the manual (strongest) repair on the final slot — the last free
+    choice happens at ``attempt_count == max_actions - 2`` and from
+    ``max_actions - 1`` on the manual action is mandatory.  Returns
+    ``None`` while the policy may still choose.  This is the single
+    source of the cap rule: sessions, the platform's fast training loop
+    and the compiled replay all call it.
+    """
+    if attempt_count >= max_actions - 1:
+        return forced_name
+    return None
+
+
+@dataclass(frozen=True)
+class SessionDecision:
+    """The action a session settled on for the current state.
+
+    Attributes
+    ----------
+    action:
+        The repair action to execute next.
+    forced:
+        Whether the ``N``-action cap, not the policy, chose it.
+    source:
+        Decision provenance (the policy's source, or ``"forced:cap"``).
+    expected_cost:
+        The policy's own remaining-cost estimate, when it had one.
+    """
+
+    action: str
+    forced: bool
+    source: str
+    expected_cost: Optional[float] = None
+
+
+class RecoverySession:
+    """One recovery episode: state, cap enforcement, cost, trace.
+
+    Parameters
+    ----------
+    error_type:
+        The error type being recovered.
+    policy:
+        The deciding policy (consulted while the cap permits).
+    max_actions:
+        The paper's ``N``: the episode is capped at this many actions,
+        the last forced to ``forced_action_name``.
+    forced_action_name:
+        The manual (strongest) repair the cap falls back to.
+    origin:
+        Label recorded in the episode trace (``"replay"``,
+        ``"cluster"``, ...).
+    initial_cost:
+        Detection-segment seconds charged before the first action.
+    record_transitions:
+        Keep ``(state, action, cost, next_state)`` tuples for the
+        Q-learning update (off by default; traces alone serve the other
+        loops).
+    """
+
+    def __init__(
+        self,
+        error_type: str,
+        policy: Policy,
+        *,
+        max_actions: int,
+        forced_action_name: str,
+        origin: str = "session",
+        initial_cost: float = 0.0,
+        record_transitions: bool = False,
+    ) -> None:
+        if max_actions < 2:
+            raise ConfigurationError(
+                f"max_actions must be >= 2, got {max_actions}"
+            )
+        if not forced_action_name:
+            raise ConfigurationError("forced_action_name must be non-empty")
+        self._policy = policy
+        self._max_actions = max_actions
+        self._forced_name = forced_action_name
+        self._origin = origin
+        self._state = RecoveryState.initial(error_type)
+        self._total = initial_cost
+        self._initial_cost = initial_cost
+        self._steps: List[StepTrace] = []
+        self._pending: Optional[SessionDecision] = None
+        self._forced_manual = False
+        self._aborted = False
+        self._transitions: Optional[List[Transition]] = (
+            [] if record_transitions else None
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> RecoveryState:
+        """The current recovery state."""
+        return self._state
+
+    @property
+    def policy(self) -> Policy:
+        return self._policy
+
+    @property
+    def origin(self) -> str:
+        return self._origin
+
+    @property
+    def max_actions(self) -> int:
+        return self._max_actions
+
+    @property
+    def done(self) -> bool:
+        """Whether the episode finished (cured or aborted)."""
+        return self._aborted or self._state.is_terminal
+
+    @property
+    def handled(self) -> bool:
+        """False once the policy failed to act and the session aborted."""
+        return not self._aborted
+
+    @property
+    def forced_manual(self) -> bool:
+        """Whether the ``N``-cap forced an action at any point."""
+        return self._forced_manual
+
+    @property
+    def total_cost(self) -> float:
+        """Initial cost plus recorded step costs, in execution order."""
+        return self._total
+
+    @property
+    def actions(self) -> Tuple[str, ...]:
+        """Actions executed so far."""
+        return self._state.tried
+
+    @property
+    def transitions(self) -> Tuple[Transition, ...]:
+        """Recorded transitions (``record_transitions=True`` only)."""
+        if self._transitions is None:
+            return ()
+        return tuple(self._transitions)
+
+    @property
+    def pending(self) -> Optional[SessionDecision]:
+        """The decision awaiting its outcome, if any (batched path)."""
+        return self._pending
+
+    # ------------------------------------------------------------------
+    def forced_action(self) -> Optional[str]:
+        """The cap-forced action for the current state, if any."""
+        return forced_action(
+            self._state.attempt_count, self._max_actions, self._forced_name
+        )
+
+    def next_action(self) -> SessionDecision:
+        """Observe the current state and decide the next action.
+
+        The cap rule is consulted first; while it permits, the policy
+        decides.  A policy raising
+        :class:`~repro.errors.UnhandledStateError` aborts the session
+        (``handled`` becomes False) and the error propagates so callers
+        that must not swallow it (the live cluster) still see it.
+        """
+        if self.done:
+            raise SimulationError("cannot decide in a finished session")
+        if self._pending is not None:
+            raise SimulationError(
+                "previous decision has no recorded outcome yet"
+            )
+        forced = self.forced_action()
+        if forced is not None:
+            decision = SessionDecision(
+                action=forced, forced=True, source=FORCED_SOURCE
+            )
+        else:
+            try:
+                chosen = self._policy.decide(self._state)
+            except UnhandledStateError:
+                self._aborted = True
+                raise
+            decision = SessionDecision(
+                action=chosen.action,
+                forced=False,
+                source=chosen.source,
+                expected_cost=chosen.expected_cost,
+            )
+        self._pending = decision
+        return decision
+
+    def resolve(
+        self, outcome: Union[PolicyDecision, UnhandledStateError]
+    ) -> Optional[SessionDecision]:
+        """Adopt an externally produced decision (the batched path).
+
+        ``drive_batch`` collects the states of many concurrent sessions
+        and calls :meth:`Policy.decide_batch` once; each session then
+        resolves its own entry.  A cap-forced session ignores the
+        argument-free path entirely — callers must check
+        :meth:`forced_action` first and only batch the free states.
+        Passing an :class:`~repro.errors.UnhandledStateError` aborts the
+        session and returns ``None``.
+        """
+        if self.done:
+            raise SimulationError("cannot decide in a finished session")
+        if self._pending is not None:
+            raise SimulationError(
+                "previous decision has no recorded outcome yet"
+            )
+        if isinstance(outcome, UnhandledStateError):
+            self._aborted = True
+            return None
+        decision = SessionDecision(
+            action=outcome.action,
+            forced=False,
+            source=outcome.source,
+            expected_cost=outcome.expected_cost,
+        )
+        self._pending = decision
+        return decision
+
+    def force_pending(self) -> SessionDecision:
+        """Record the cap-forced decision as pending (batched path)."""
+        forced = self.forced_action()
+        if forced is None:
+            raise SimulationError("the action cap does not force yet")
+        if self._pending is not None:
+            raise SimulationError(
+                "previous decision has no recorded outcome yet"
+            )
+        decision = SessionDecision(
+            action=forced, forced=True, source=FORCED_SOURCE
+        )
+        self._pending = decision
+        return decision
+
+    def record_outcome(
+        self,
+        cost: float,
+        succeeded: bool,
+        *,
+        matched_log: Optional[bool] = None,
+        next_state: Optional[RecoveryState] = None,
+    ) -> RecoveryState:
+        """Observe the executed action's outcome and advance the state.
+
+        ``next_state`` lets environments that already computed the
+        successor (the replay platform's ``step``) hand it over instead
+        of rebuilding it; it must equal ``state.after(action,
+        succeeded)``.  Returns the new current state.
+        """
+        decision = self._pending
+        if decision is None:
+            raise SimulationError("no pending decision to record against")
+        self._pending = None
+        if decision.forced:
+            self._forced_manual = True
+        self._steps.append(
+            StepTrace(
+                step=len(self._steps),
+                attempt_count=self._state.attempt_count,
+                action=decision.action,
+                source=decision.source,
+                forced=decision.forced,
+                cost=cost,
+                succeeded=succeeded,
+                matched_log=matched_log,
+                expected_cost=decision.expected_cost,
+            )
+        )
+        previous = self._state
+        if next_state is None:
+            next_state = previous.after(decision.action, succeeded)
+        self._state = next_state
+        self._total += cost
+        if self._transitions is not None:
+            self._transitions.append(
+                (previous, decision.action, cost, next_state)
+            )
+        return next_state
+
+    def abort(self) -> None:
+        """Mark the session unhandled (the policy could not act)."""
+        self._pending = None
+        self._aborted = True
+
+    def trace(self) -> EpisodeTrace:
+        """The episode's structured trace (valid at any point)."""
+        return EpisodeTrace(
+            origin=self._origin,
+            error_type=self._state.error_type,
+            initial_cost=self._initial_cost,
+            steps=tuple(self._steps),
+            handled=self.handled,
+            forced_manual=self._forced_manual,
+        )

@@ -20,12 +20,15 @@ from repro.actions.action import ActionCatalog
 from repro.errors import (
     ConfigurationError,
     SimulationError,
-    UnhandledStateError,
     UnknownActionError,
 )
 from repro.mdp.state import RecoveryState
 from repro.policies.base import Policy
 from repro.recoverylog.process import RecoveryProcess
+from repro.session.core import forced_action as cap_forced_action
+from repro.session.driver import EpisodeOutcome, drive, drive_batch
+from repro.session.environment import ReplayEnvironment
+from repro.session.trace import EpisodeTelemetry, EpisodeTrace
 from repro.simplatform.coststats import CostStatistics
 from repro.simplatform.hypotheses import covers, required_strengths
 
@@ -253,6 +256,11 @@ class SimulationPlatform:
     def max_actions(self) -> int:
         return self._max_actions
 
+    @property
+    def forced_action_name(self) -> str:
+        """The manual repair the ``N``-cap forces on the final slot."""
+        return self._forced_name
+
     def _required(self, process: RecoveryProcess) -> Tuple[int, ...]:
         required = self._required_by_process.get(process)
         if required is None:
@@ -267,16 +275,14 @@ class SimulationPlatform:
     def forced_action(self, attempt_count: int) -> Optional[str]:
         """The action the ``N``-cap forces after ``attempt_count`` tries.
 
-        The paper bounds every recovery at ``N`` actions by forcing the
-        manual (strongest) repair on the final slot — so the last free
-        choice happens at ``attempt_count == max_actions - 2`` and from
-        ``max_actions - 1`` on the manual action is mandatory.  Returns
-        ``None`` while the policy may still choose.  Single source of
-        the cap rule for :meth:`replay` and the trainer's episode loops.
+        Delegates to the session core's
+        :func:`~repro.session.core.forced_action`, the single source of
+        the cap rule; kept as a method because the trainer's fast
+        episode loop asks the platform directly.
         """
-        if attempt_count >= self._max_actions - 1:
-            return self._forced_name
-        return None
+        return cap_forced_action(
+            attempt_count, self._max_actions, self._forced_name
+        )
 
     def compiled(self) -> CompiledReplay:
         """The integer-indexed replay view of this platform's processes.
@@ -422,48 +428,113 @@ class SimulationPlatform:
             matched_log=matched,
         )
 
+    def _self_healed_trace(
+        self, process: RecoveryProcess, origin: str
+    ) -> EpisodeTrace:
+        return EpisodeTrace(
+            origin=origin,
+            error_type=process.error_type,
+            initial_cost=process.downtime,
+            steps=(),
+            handled=True,
+            forced_manual=False,
+        )
+
+    @staticmethod
+    def _to_replay_result(
+        outcome: EpisodeOutcome, process: RecoveryProcess
+    ) -> ReplayResult:
+        if not outcome.handled:
+            return ReplayResult(
+                handled=False,
+                cost=float("nan"),
+                actions=outcome.actions,
+                real_cost=process.downtime,
+            )
+        return ReplayResult(
+            handled=True,
+            cost=outcome.cost,
+            actions=outcome.actions,
+            real_cost=process.downtime,
+            forced_manual=outcome.forced_manual,
+        )
+
     def replay(
         self,
         process: RecoveryProcess,
         policy: Policy,
+        *,
+        origin: str = "replay",
+        telemetry: Optional[EpisodeTelemetry] = None,
     ) -> ReplayResult:
-        """Drive ``policy`` through ``process`` until cured or unhandled."""
-        attempts = process.attempts
-        if not attempts:
+        """Drive ``policy`` through ``process`` until cured or unhandled.
+
+        The episode itself runs through the shared recovery-session
+        driver (:func:`repro.session.driver.drive`) over a
+        :class:`~repro.session.environment.ReplayEnvironment`.
+        """
+        if not process.attempts:
             # Self-healed process: nothing to decide; charge real downtime.
+            if telemetry is not None:
+                telemetry.on_episode(self._self_healed_trace(process, origin))
             return ReplayResult(
                 handled=True,
                 cost=process.downtime,
                 actions=(),
                 real_cost=process.downtime,
             )
-        state = RecoveryState.initial(process.error_type)
-        total = self.initial_cost(process)
-        actions = []
-        forced_manual = False
-        while not state.is_terminal:
-            forced = self.forced_action(state.attempt_count)
-            if forced is not None:
-                action_name = forced
-                forced_manual = True
-            else:
-                try:
-                    action_name = policy.decide(state).action
-                except UnhandledStateError:
-                    return ReplayResult(
-                        handled=False,
-                        cost=float("nan"),
-                        actions=tuple(actions),
-                        real_cost=process.downtime,
-                    )
-            outcome = self.step(process, state, action_name)
-            actions.append(action_name)
-            total += outcome.cost
-            state = outcome.next_state
-        return ReplayResult(
-            handled=True,
-            cost=total,
-            actions=tuple(actions),
-            real_cost=process.downtime,
-            forced_manual=forced_manual,
+        outcome = drive(
+            ReplayEnvironment(self, process),
+            policy,
+            origin=origin,
+            telemetry=telemetry,
         )
+        return self._to_replay_result(outcome, process)
+
+    def replay_many(
+        self,
+        processes: Sequence[RecoveryProcess],
+        policy: Policy,
+        *,
+        origin: str = "replay",
+        telemetry: Optional[EpisodeTelemetry] = None,
+    ) -> List[ReplayResult]:
+        """Replay many processes, batching policy decisions per wave.
+
+        Batch-safe policies (deterministic ones — see
+        :attr:`~repro.policies.base.Policy.batch_safe`) are decided via
+        one :meth:`~repro.policies.base.Policy.decide_batch` call per
+        lockstep wave of concurrent sessions; per-process results are
+        bit-identical to sequential :meth:`replay` calls.  Policies with
+        internal RNG fall back to sequential driving automatically.
+        Results — and telemetry, when given — follow input order.
+        """
+        driven_envs = []
+        driven_positions = []
+        results: List[Optional[ReplayResult]] = [None] * len(processes)
+        traces: List[Optional[EpisodeTrace]] = [None] * len(processes)
+        for position, process in enumerate(processes):
+            if not process.attempts:
+                results[position] = ReplayResult(
+                    handled=True,
+                    cost=process.downtime,
+                    actions=(),
+                    real_cost=process.downtime,
+                )
+                traces[position] = self._self_healed_trace(process, origin)
+            else:
+                driven_envs.append(ReplayEnvironment(self, process))
+                driven_positions.append(position)
+        outcomes = drive_batch(driven_envs, policy, origin=origin)
+        for position, outcome in zip(driven_positions, outcomes):
+            results[position] = self._to_replay_result(
+                outcome, processes[position]
+            )
+            traces[position] = outcome.trace
+        # Every position was filled above; the None checks only narrow
+        # the Optional type.
+        if telemetry is not None:
+            for trace in traces:
+                if trace is not None:
+                    telemetry.on_episode(trace)
+        return [result for result in results if result is not None]

@@ -2,14 +2,17 @@
 
 import pytest
 
-from helpers import ladder_processes
+from helpers import ladder_processes, make_process
 from repro.actions import default_catalog
 from repro.core.config import PipelineConfig
 from repro.core.online import RollingRetrainer
 from repro.errors import ConfigurationError, TrainingError
 from repro.learning.qlearning import QLearningConfig
 from repro.learning.selection_tree import SelectionTreeConfig
+from repro.learning.telemetry import EpisodeRecorder
 from repro.mdp.state import RecoveryState
+from repro.session.environment import ReplayEnvironment
+from repro.simplatform.platform import SimulationPlatform
 
 CATALOG = default_catalog()
 
@@ -124,3 +127,108 @@ class TestLifecycle:
         # Deployment unchanged: the fallback still serves.
         assert retrainer.current_policy().name == "user-defined"
         assert retrainer.retrain_count == 0
+
+
+class TestEdgeCases:
+    def test_failed_refit_keeps_trained_policy_atomically(self):
+        """A refit failure after a successful deploy must change nothing:
+        the deployed hybrid, the fitted learner and the counters all
+        stay exactly as the last good fit left them."""
+        retrainer = RollingRetrainer(
+            CATALOG,
+            fast_config(),
+            window=40,
+            min_history=1,
+            retrain_every=10**9,
+        )
+        for process in era(reboot_curable=True, count=60):
+            retrainer.observe(process)
+        deployed = retrainer.retrain()
+        learner = retrainer.learner
+        assert retrainer.retrain_count == 1
+        # Age the entire window out with unusable history: 40 singleton
+        # error types, each far below min_processes_per_type.
+        for index in range(40):
+            retrainer.observe(
+                make_process(
+                    ["TRYNOP", "RMA"],
+                    machine=f"junk-{index:03d}",
+                    error_type=f"error:Rare{index}",
+                    start=index * 10_000.0,
+                )
+            )
+        with pytest.raises(TrainingError):
+            retrainer.retrain()
+        assert retrainer.current_policy() is deployed
+        assert retrainer.learner is learner
+        assert retrainer.retrain_count == 1
+
+    def test_window_smaller_than_retrain_every(self):
+        """A window shorter than the retrain period still retrains on
+        schedule — the cadence counts observations, not window size."""
+        retrainer = RollingRetrainer(
+            CATALOG,
+            fast_config(),
+            window=20,
+            min_history=10,
+            retrain_every=50,
+        )
+        triggered = [
+            retrainer.observe(p)
+            for p in era(reboot_curable=True, count=60)  # 120 processes
+        ]
+        assert retrainer.history_size == 20
+        assert retrainer.retrain_count == 2
+        assert [i for i, t in enumerate(triggered) if t] == [49, 99]
+
+    def test_min_history_boundary_is_exact(self):
+        """No retrain at min_history - 1 observations; retrain at
+        exactly min_history."""
+        retrainer = RollingRetrainer(
+            CATALOG,
+            fast_config(),
+            window=100,
+            min_history=30,
+            retrain_every=1,
+        )
+        processes = era(reboot_curable=True, count=30)[:30]
+        for process in processes[:29]:
+            assert retrainer.observe(process) is False
+        assert retrainer.retrain_count == 0
+        assert retrainer.observe(processes[29]) is True
+        assert retrainer.retrain_count == 1
+
+    def test_window_below_min_history_never_triggers(self):
+        """The window caps observable history, so min_history above it
+        can never be reached — observe must not retrain (or error)."""
+        retrainer = RollingRetrainer(
+            CATALOG,
+            fast_config(),
+            window=10,
+            min_history=20,
+            retrain_every=1,
+        )
+        for process in era(reboot_curable=True, count=30):
+            assert retrainer.observe(process) is False
+        assert retrainer.retrain_count == 0
+
+
+class TestRecover:
+    def test_recover_routes_through_session_driver(self):
+        """The deployed policy's episodes run via the shared driver with
+        origin "online" and match platform.replay exactly."""
+        process = make_process(
+            ["TRYNOP", "REBOOT"], error_type="error:Drift"
+        )
+        platform = SimulationPlatform([process], CATALOG)
+        retrainer = RollingRetrainer(CATALOG, fast_config())
+        recorder = EpisodeRecorder()
+        outcome = retrainer.recover(
+            ReplayEnvironment(platform, process), telemetry=recorder
+        )
+        expected = platform.replay(process, retrainer.current_policy())
+        assert outcome.handled
+        assert outcome.actions == expected.actions
+        assert outcome.cost == expected.cost
+        assert outcome.trace.origin == "online"
+        assert recorder.by_origin("online") == (outcome.trace,)

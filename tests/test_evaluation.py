@@ -12,6 +12,7 @@ from repro.evaluation.report import (
     render_relative_costs,
     render_totals,
 )
+from repro.learning.telemetry import EpisodeRecorder
 from repro.policies import (
     FixedSequencePolicy,
     TrainedPolicy,
@@ -130,6 +131,31 @@ class TestPolicyEvaluator:
     def test_empty_test_set_rejected(self):
         with pytest.raises(EvaluationError):
             PolicyEvaluator([], CATALOG)
+
+    def test_out_of_scope_processes_counted_as_skipped(self):
+        processes = hard_test_processes() + ladder_processes(
+            "error:Other", [(["TRYNOP"], 5)], machine_prefix="n"
+        )
+        evaluator = PolicyEvaluator(
+            processes, CATALOG, error_types=["error:Hard"]
+        )
+        result = evaluator.evaluate(UserDefinedPolicy(CATALOG))
+        assert result.skipped == 5
+        unrestricted = PolicyEvaluator(processes, CATALOG)
+        assert unrestricted.evaluate(UserDefinedPolicy(CATALOG)).skipped == 0
+
+    def test_telemetry_records_only_in_scope_episodes(self):
+        processes = hard_test_processes() + ladder_processes(
+            "error:Other", [(["TRYNOP"], 5)], machine_prefix="n"
+        )
+        evaluator = PolicyEvaluator(
+            processes, CATALOG, error_types=["error:Hard"]
+        )
+        recorder = EpisodeRecorder()
+        evaluator.evaluate(UserDefinedPolicy(CATALOG), telemetry=recorder)
+        assert len(recorder) == 10
+        assert recorder.episode_counts() == {"evaluation": 10}
+        assert {t.error_type for t in recorder.traces} == {"error:Hard"}
 
 
 class TestReports:
