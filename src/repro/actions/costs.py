@@ -22,10 +22,31 @@ __all__ = ["CostModel", "DeterministicCost", "LognormalCost"]
 
 
 class CostModel:
-    """Interface for sampling action durations, in seconds."""
+    """Interface for sampling action durations, in seconds.
+
+    Two sampling surfaces are provided.  :meth:`sample` draws from a
+    :class:`numpy.random.Generator` — the classic stream discipline.
+    :meth:`from_uniforms` instead transforms ``uniform_count`` uniforms
+    in ``[0, 1)`` into durations with fixed numpy ufunc formulas, so a
+    scalar caller and a vectorized caller fed the same uniforms obtain
+    bit-identical IEEE-754 results — the property the fleet backend's
+    differential tests pin.
+    """
+
+    #: How many uniforms :meth:`from_uniforms` consumes per duration.
+    uniform_count: int = 0
 
     def sample(self, rng: np.random.Generator) -> float:
         """Draw one duration."""
+        raise NotImplementedError
+
+    def from_uniforms(self, uniforms: np.ndarray) -> np.ndarray:
+        """Durations from uniforms of shape ``(uniform_count, n)``.
+
+        Returns an array of ``n`` durations.  Models with
+        ``uniform_count == 0`` accept any ``(0, n)`` array and are
+        fully deterministic.
+        """
         raise NotImplementedError
 
     @property
@@ -40,11 +61,17 @@ class DeterministicCost(CostModel):
 
     value: float
 
+    uniform_count = 0
+
     def __post_init__(self) -> None:
         check_positive("value", self.value)
 
     def sample(self, rng: np.random.Generator) -> float:
         return self.value
+
+    def from_uniforms(self, uniforms: np.ndarray) -> np.ndarray:
+        count = np.asarray(uniforms).shape[-1]
+        return np.full(count, self.value, dtype=np.float64)
 
     @property
     def mean(self) -> float:
@@ -67,6 +94,8 @@ class LognormalCost(CostModel):
     mean_seconds: float
     cv: float = 0.3
 
+    uniform_count = 2
+
     def __post_init__(self) -> None:
         check_positive("mean_seconds", self.mean_seconds)
         check_positive("cv", self.cv)
@@ -81,6 +110,15 @@ class LognormalCost(CostModel):
 
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.lognormal(mean=self._mu, sigma=self._sigma))
+
+    def from_uniforms(self, uniforms: np.ndarray) -> np.ndarray:
+        # Box–Muller on two uniforms; log1p(-u) keeps u=0 finite and the
+        # transform is pure numpy ufuncs, so scalar and vectorized
+        # callers produce bit-identical values from the same uniforms.
+        u1, u2 = np.asarray(uniforms)
+        radius = np.sqrt(-2.0 * np.log1p(-u1))
+        gaussian = radius * np.cos(2.0 * np.pi * u2)
+        return np.exp(self._mu + self._sigma * gaussian)
 
     @property
     def mean(self) -> float:

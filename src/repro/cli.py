@@ -17,6 +17,7 @@ paper figure's rows (see EXPERIMENTS.md).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Optional, Sequence
 
@@ -76,6 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     generate.add_argument(
         "--format", choices=("jsonl", "text"), default="jsonl"
+    )
+    generate.add_argument(
+        "--cluster-backend",
+        choices=("event", "fleet"),
+        default="event",
+        help="simulation engine: the event-driven reference (default, "
+        "byte-identical to historical traces) or the vectorized fleet "
+        "engine under the per-machine RNG discipline",
     )
 
     inspect = commands.add_parser(
@@ -194,7 +203,15 @@ def _read_log(path: str):
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    trace = generate_trace(_SCALES[args.scale](seed=args.seed))
+    config = _SCALES[args.scale](seed=args.seed)
+    if args.cluster_backend != config.cluster.backend:
+        config = dataclasses.replace(
+            config,
+            cluster=dataclasses.replace(
+                config.cluster, backend=args.cluster_backend
+            ),
+        )
+    trace = generate_trace(config)
     writer = write_log_jsonl if args.format == "jsonl" else write_log_text
     count = writer(trace.log, args.out)
     processes = trace.log.to_processes()

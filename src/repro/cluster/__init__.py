@@ -16,8 +16,14 @@ from repro.cluster.cluster import ClusterConfig, ClusterSimulator
 from repro.cluster.detector import FaultDetector
 from repro.cluster.engine import SimulationEngine
 from repro.cluster.faults import FaultCatalog, FaultType, validate_fault_catalog
+from repro.cluster.fleet import FleetEngine, FleetResult, simulate_cluster
 from repro.cluster.machine import Machine, MachineState
 from repro.cluster.monitor import EventMonitor
+from repro.cluster.randomness import (
+    MachineRandomSource,
+    RandomSource,
+    StreamRandomSource,
+)
 
 __all__ = [
     "SimulationEngine",
@@ -30,4 +36,10 @@ __all__ = [
     "FaultDetector",
     "ClusterConfig",
     "ClusterSimulator",
+    "FleetEngine",
+    "FleetResult",
+    "simulate_cluster",
+    "RandomSource",
+    "StreamRandomSource",
+    "MachineRandomSource",
 ]

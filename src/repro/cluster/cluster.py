@@ -25,6 +25,11 @@ from repro.cluster.faults import (
 )
 from repro.cluster.machine import Machine, MachineState
 from repro.cluster.monitor import EventMonitor
+from repro.cluster.randomness import (
+    MachineRandomSource,
+    RandomSource,
+    StreamRandomSource,
+)
 from repro.errors import ConfigurationError
 from repro.policies.base import Policy
 from repro.recoverylog.log import RecoveryLog
@@ -40,6 +45,13 @@ from repro.util.validation import (
 __all__ = ["ClusterConfig", "ClusterSimulator"]
 
 SECONDS_PER_DAY = 86_400.0
+
+#: Selectable simulation backends (see :func:`repro.cluster.simulate_cluster`).
+BACKENDS = ("event", "fleet")
+#: RNG disciplines: ``"auto"`` resolves to ``"stream"`` for the event
+#: backend (preserving historical traces) and ``"machine"`` for the
+#: fleet backend (the only discipline a vectorized engine can honor).
+RNG_DISCIPLINES = ("auto", "stream", "machine")
 
 
 @dataclass(frozen=True)
@@ -74,6 +86,17 @@ class ClusterConfig:
         actions, the last being forced to the manual repair.
     machine_name_format:
         ``str.format`` pattern for machine names.
+    backend:
+        Which execution engine :func:`repro.cluster.simulate_cluster`
+        dispatches to: ``"event"`` (the reference event-driven
+        simulator) or ``"fleet"`` (vectorized lockstep waves).
+    rng_discipline:
+        How randomness is addressed: ``"stream"`` (five shared named
+        streams, drawn in global event order — the historical default),
+        ``"machine"`` (counter-based per-machine channels, required for
+        the fleet backend and available on the event backend so the two
+        can be compared bit for bit), or ``"auto"`` to pick the
+        backend's native discipline.
     """
 
     machine_count: int = 200
@@ -86,6 +109,8 @@ class ClusterConfig:
     noise_probability: float = 0.042
     max_actions: int = 20
     machine_name_format: str = "m-{:05d}"
+    backend: str = "event"
+    rng_discipline: str = "auto"
 
     def __post_init__(self) -> None:
         check_positive("machine_count", self.machine_count)
@@ -104,6 +129,28 @@ class ClusterConfig:
             raise ConfigurationError(
                 f"max_actions must be >= 2, got {self.max_actions}"
             )
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.rng_discipline not in RNG_DISCIPLINES:
+            raise ConfigurationError(
+                f"rng_discipline must be one of {RNG_DISCIPLINES}, "
+                f"got {self.rng_discipline!r}"
+            )
+        if self.backend == "fleet" and self.rng_discipline == "stream":
+            raise ConfigurationError(
+                "the fleet backend cannot honor the stream RNG discipline: "
+                "shared streams are consumed in global event order, which "
+                "a wave-vectorized engine does not reproduce; use "
+                "rng_discipline='machine' (or 'auto')"
+            )
+
+    def resolved_rng_discipline(self) -> str:
+        """The concrete discipline ``"auto"`` resolves to for ``backend``."""
+        if self.rng_discipline != "auto":
+            return self.rng_discipline
+        return "stream" if self.backend == "event" else "machine"
 
 
 class ClusterSimulator:
@@ -149,11 +196,16 @@ class ClusterSimulator:
             for fault in faults
         }
         self._streams = streams if streams is not None else RngStreams()
-        self._arrival_rng = self._streams.get("cluster.arrivals")
-        self._symptom_rng = self._streams.get("cluster.symptoms")
-        self._cure_rng = self._streams.get("cluster.cures")
-        self._cost_rng = self._streams.get("cluster.costs")
-        self._delay_rng = self._streams.get("cluster.delays")
+        # The RNG seam: the same event loop can draw from the historical
+        # shared streams (default) or from counter-based per-machine
+        # channels — the discipline under which the vectorized fleet
+        # backend reproduces this simulator bit for bit.
+        if config.resolved_rng_discipline() == "machine":
+            self._rand: RandomSource = MachineRandomSource(
+                self._streams.root_entropy, config.machine_count
+            )
+        else:
+            self._rand = StreamRandomSource(self._streams)
 
         self.engine = SimulationEngine()
         self.monitor = EventMonitor()
@@ -161,7 +213,7 @@ class ClusterSimulator:
         self.monitor.subscribe(self.detector.observe)
         self.machines: Dict[str, Machine] = {
             config.machine_name_format.format(i): Machine(
-                config.machine_name_format.format(i)
+                config.machine_name_format.format(i), index=i
             )
             for i in range(config.machine_count)
         }
@@ -174,6 +226,11 @@ class ClusterSimulator:
         # simulated time.
         self._sessions: Dict[str, RecoverySession] = {}
         self._episode_telemetry = episode_telemetry
+
+    @property
+    def random_source(self) -> RandomSource:
+        """The RNG seam in use (exposes draw counters in machine mode)."""
+        return self._rand
 
     # ------------------------------------------------------------------
     # Run
@@ -191,10 +248,8 @@ class ClusterSimulator:
     # Fault arrival and symptom emission
     # ------------------------------------------------------------------
     def _schedule_next_fault(self, machine: Machine, from_time: float) -> None:
-        gap = float(
-            self._arrival_rng.exponential(
-                self.config.mean_time_between_failures
-            )
+        gap = self._rand.arrival_gap(
+            machine.index, self.config.mean_time_between_failures
         )
         arrival = from_time + gap
         if arrival > self.config.duration:
@@ -202,14 +257,19 @@ class ClusterSimulator:
         self.engine.schedule_at(arrival, lambda m=machine: self._on_fault(m))
 
     def _on_fault(self, machine: Machine) -> None:
-        fault = self.faults.sample(self._arrival_rng)
+        fault = self.faults.fault_types[
+            self._rand.fault_index(machine.index, self.faults)
+        ]
         noise_fault: Optional[FaultType] = None
         if (
             len(self.faults) > 1
-            and self._arrival_rng.random() < self.config.noise_probability
+            and self._rand.noise_uniform(machine.index)
+            < self.config.noise_probability
         ):
             while noise_fault is None or noise_fault.name == fault.name:
-                noise_fault = self.faults.sample(self._arrival_rng)
+                noise_fault = self.faults.fault_types[
+                    self._rand.fault_index(machine.index, self.faults)
+                ]
         machine.fail(fault, noise_fault)
         self._uncured[machine.name] = [fault] + (
             [noise_fault] if noise_fault is not None else []
@@ -220,10 +280,8 @@ class ClusterSimulator:
         if noise_fault is not None:
             # The overlapping fault's symptoms appear strictly after the
             # primary, so the induced error type stays the main fault's.
-            offset = float(
-                self._symptom_rng.uniform(
-                    30.0, self.config.secondary_symptom_window
-                )
+            offset = self._rand.symptom_offset(
+                machine.index, 30.0, self.config.secondary_symptom_window
             )
             self.engine.schedule_at(
                 now + offset,
@@ -237,11 +295,12 @@ class ClusterSimulator:
         self, machine: Machine, fault: FaultType, after: float
     ) -> None:
         for symptom in fault.secondary_symptoms:
-            if self._symptom_rng.random() < fault.secondary_probability:
-                offset = float(
-                    self._symptom_rng.uniform(
-                        1.0, self.config.secondary_symptom_window
-                    )
+            if (
+                self._rand.symptom_uniform(machine.index)
+                < fault.secondary_probability
+            ):
+                offset = self._rand.symptom_offset(
+                    machine.index, 1.0, self.config.secondary_symptom_window
                 )
                 self.engine.schedule_at(
                     after + offset,
@@ -258,7 +317,7 @@ class ClusterSimulator:
     # ------------------------------------------------------------------
     def _on_detection(self, machine_name: str, initial_symptom: str) -> None:
         machine = self.machines[machine_name]
-        delay = self._sample_delay(self.config.detection_delay_mean)
+        delay = self._sample_delay(machine, self.config.detection_delay_mean)
         self.engine.schedule_after(
             delay,
             lambda m=machine, s=initial_symptom: self._begin_recovery(m, s),
@@ -287,7 +346,10 @@ class ClusterSimulator:
         self.monitor.record_action(now, machine.name, action.name)
         fault = machine.active_fault
         scale = fault.cost_scale if fault is not None else 1.0
-        duration = action.cost_model.sample(self._cost_rng) * scale
+        duration = (
+            self._rand.action_duration(machine.index, action.cost_model)
+            * scale
+        )
         self.engine.schedule_at(
             now + duration,
             lambda m=machine, a=action, d=duration: self._on_action_complete(
@@ -301,7 +363,7 @@ class ClusterSimulator:
         remaining = [
             fault
             for fault in self._uncured[machine.name]
-            if self._cure_rng.random()
+            if self._rand.cure_uniform(machine.index)
             >= self._cures[fault.name][action.name]
         ]
         self._uncured[machine.name] = remaining
@@ -319,23 +381,23 @@ class ClusterSimulator:
         # The error persists: symptoms may recur, then try again.
         for fault in remaining:
             if (
-                self._symptom_rng.random()
+                self._rand.symptom_uniform(machine.index)
                 < self.config.symptom_reemission_probability
             ):
-                offset = float(self._symptom_rng.uniform(1.0, 120.0))
+                offset = self._rand.symptom_offset(machine.index, 1.0, 120.0)
                 self.engine.schedule_at(
                     now + offset,
                     lambda m=machine, s=fault.primary_symptom: self._emit_if_recovering(
                         m, s
                     ),
                 )
-        delay = self._sample_delay(self.config.decision_delay_mean)
+        delay = self._sample_delay(machine, self.config.decision_delay_mean)
         self.engine.schedule_after(
             delay,
             lambda m=machine: self._decide_and_act(m),
         )
 
-    def _sample_delay(self, mean: float) -> float:
+    def _sample_delay(self, machine: Machine, mean: float) -> float:
         if mean <= 0:
             return 0.0
-        return float(self._delay_rng.exponential(mean))
+        return self._rand.delay(machine.index, mean)

@@ -30,6 +30,8 @@ from repro.util.validation import check_positive, check_probability
 __all__ = [
     "FaultType",
     "FaultCatalog",
+    "CompiledFaults",
+    "compile_fault_arrays",
     "effective_cure_probabilities",
     "validate_fault_catalog",
 ]
@@ -115,6 +117,7 @@ class FaultCatalog:
         self._by_name: Dict[str, FaultType] = {f.name: f for f in fault_types}
         weights = np.array([f.weight for f in fault_types], dtype=float)
         self._probabilities = weights / weights.sum()
+        self._cumulative = np.cumsum(self._probabilities)
 
     def __iter__(self) -> Iterator[FaultType]:
         return iter(self._faults)
@@ -139,10 +142,37 @@ class FaultCatalog:
             for fault, p in zip(self._faults, self._probabilities)
         }
 
+    def cumulative_probabilities(self) -> np.ndarray:
+        """Cumulative occurrence probabilities, in catalog order.
+
+        The last element is 1 up to float rounding; a copy is returned
+        so callers cannot perturb the catalog's sampling.
+        """
+        return self._cumulative.copy()
+
+    def sample_index(self, rng: np.random.Generator) -> int:
+        """Draw one fault-type index according to the occurrence weights."""
+        return int(rng.choice(len(self._faults), p=self._probabilities))
+
+    def index_from_uniform(self, u: "float | np.ndarray") -> "int | np.ndarray":
+        """Map uniforms in ``[0, 1)`` to weighted fault-type indices.
+
+        Inverse-CDF via ``searchsorted`` on the cumulative weights — the
+        same fixed formula for a scalar and for a whole wave, which is
+        what lets the event and fleet backends agree bit for bit under
+        the counter RNG discipline.
+        """
+        index = np.minimum(
+            np.searchsorted(self._cumulative, u, side="right"),
+            len(self._faults) - 1,
+        )
+        if np.ndim(u) == 0:
+            return int(index)
+        return index.astype(np.intp)
+
     def sample(self, rng: np.random.Generator) -> FaultType:
         """Draw one fault type according to the occurrence weights."""
-        index = int(rng.choice(len(self._faults), p=self._probabilities))
-        return self._faults[index]
+        return self._faults[self.sample_index(rng)]
 
 
 def effective_cure_probabilities(
@@ -181,6 +211,85 @@ def effective_cure_probabilities(
             running = max(running, explicit)
         effective[action.name] = running
     return effective
+
+
+@dataclass(frozen=True)
+class CompiledFaults:
+    """The fault catalog flattened into dense arrays for the fleet backend.
+
+    Fault ids are catalog positions; action ids are positions in the
+    action catalog's strength order (the same convention as
+    :class:`~repro.mdp.state.StateIndex`).
+
+    Attributes
+    ----------
+    cumulative:
+        ``(F,)`` cumulative occurrence probabilities for inverse-CDF
+        sampling.
+    cure:
+        ``(F, A)`` effective cure probabilities with hypothesis-2
+        inheritance resolved (manual actions are 1.0).
+    cost_scale:
+        ``(F,)`` per-fault duration multipliers.
+    secondary_probability:
+        ``(F,)`` per-secondary emission probability.
+    primary_symptoms:
+        Per-fault primary symptom string, in fault-id order.
+    secondary_symptoms:
+        Per-fault tuple of secondary symptom strings.
+    action_names:
+        Action names in id order.
+    """
+
+    cumulative: np.ndarray
+    cure: np.ndarray
+    cost_scale: np.ndarray
+    secondary_probability: np.ndarray
+    primary_symptoms: Tuple[str, ...]
+    secondary_symptoms: Tuple[Tuple[str, ...], ...]
+    action_names: Tuple[str, ...]
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.primary_symptoms)
+
+    @property
+    def max_secondaries(self) -> int:
+        """The widest secondary-symptom set across faults."""
+        if not self.secondary_symptoms:
+            return 0
+        return max(len(s) for s in self.secondary_symptoms)
+
+
+def compile_fault_arrays(
+    faults: FaultCatalog, actions: ActionCatalog
+) -> CompiledFaults:
+    """Flatten ``faults`` into :class:`CompiledFaults` arrays.
+
+    Validates the catalog against ``actions`` as a side effect (the
+    cure matrix is built through
+    :func:`effective_cure_probabilities`).
+    """
+    ordered_actions = actions.by_strength()
+    fault_types = faults.fault_types
+    cure = np.zeros((len(fault_types), len(ordered_actions)), dtype=np.float64)
+    for fid, fault in enumerate(fault_types):
+        effective = effective_cure_probabilities(fault, actions)
+        for aid, action in enumerate(ordered_actions):
+            cure[fid, aid] = effective[action.name]
+    return CompiledFaults(
+        cumulative=faults.cumulative_probabilities(),
+        cure=cure,
+        cost_scale=np.array(
+            [f.cost_scale for f in fault_types], dtype=np.float64
+        ),
+        secondary_probability=np.array(
+            [f.secondary_probability for f in fault_types], dtype=np.float64
+        ),
+        primary_symptoms=tuple(f.primary_symptom for f in fault_types),
+        secondary_symptoms=tuple(f.secondary_symptoms for f in fault_types),
+        action_names=tuple(a.name for a in ordered_actions),
+    )
 
 
 def validate_fault_catalog(

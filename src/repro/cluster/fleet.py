@@ -1,0 +1,869 @@
+"""The vectorized fleet-scale cluster backend.
+
+:class:`FleetEngine` simulates the same cluster model as the event-driven
+:class:`~repro.cluster.cluster.ClusterSimulator`, but holds every
+machine's state in flat numpy arrays and advances all machines in
+batched lockstep *waves* — the tianshou-``Collector``-over-vectorized-
+envs shape.  One pass of the wave loop moves every active machine
+through its next lifecycle phase:
+
+* **onset** — the pending fault fires: sample the fault (and possible
+  overlapping noise fault), record the primary symptom, queue secondary-
+  symptom candidates, sample the detection delay;
+* **decide** — every machine awaiting a repair decision resolves in one
+  :func:`~repro.session.driver.decide_wave` call (cap-forced machines
+  bypass the policy; the rest share a single
+  :meth:`~repro.policies.base.Policy.decide_batch`), then durations are
+  sampled per action group;
+* **complete** — cure checks run for all finishing actions at once;
+  successes close their recovery process and schedule the next fault,
+  failures queue re-emission candidates and the next decision.
+
+Machines are mutually independent in the cluster model — no draw on one
+machine ever depends on another machine's trajectory — which is the
+property that makes wave execution *exactly* equivalent to event
+execution under the counter-based
+:class:`~repro.cluster.randomness.MachineRandomSource` discipline: each
+machine consumes the same per-channel uniform sequence no matter how
+the global schedule interleaves.  ``tests/test_fleet_equivalence.py``
+pins this bit for bit across fuzzed configurations.
+
+The one cross-time construct, *straggler* symptom candidates (secondary
+symptoms, noise symptoms and re-emissions that fire later and are only
+recorded while the machine is still unhealthy), is resolved after the
+wave loop by a vectorized interval sweep over the completed recovery
+processes — equivalent to the reference backend's check of the
+machine's state at fire time, because every process interval is closed
+by the time the sweep runs.
+
+Policies with ``batch_safe = False`` draw internal RNG state per
+decision, so their behaviour depends on global decision order; they
+cannot run on waves.  :func:`simulate_cluster` routes them to the
+sequential reference backend instead (under the same machine RNG
+discipline, so the produced log is the one the fleet would have
+produced had it been able to run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.actions.action import ActionCatalog, default_catalog
+from repro.cluster.cluster import ClusterConfig, ClusterSimulator
+from repro.cluster.faults import (
+    CompiledFaults,
+    FaultCatalog,
+    compile_fault_arrays,
+)
+from repro.cluster.randomness import (
+    ARRIVALS,
+    CURES,
+    DELAYS,
+    SYMPTOMS,
+    MachineRandomSource,
+    exponential_from_uniform,
+    range_from_uniform,
+)
+from repro.cluster.randomness import COSTS as COSTS_CHANNEL
+from repro.errors import ConfigurationError, UnhandledStateError
+from repro.mdp.state import RecoveryState, StateIndex
+from repro.policies.base import Policy
+from repro.recoverylog.entry import EntryKind, LogEntry, SUCCESS_DESCRIPTION
+from repro.recoverylog.log import RecoveryLog
+from repro.session.core import forced_action
+from repro.session.driver import decide_wave
+from repro.session.trace import EpisodeTelemetry, EpisodeTrace, StepTrace
+from repro.util.rng import RngStreams
+
+__all__ = ["FleetEngine", "FleetResult", "simulate_cluster"]
+
+# Machine lifecycle phases inside the wave loop.  A machine's next
+# event time lives in ``t_event``; the phase says what happens there.
+_PH_DONE = 0      # horizon reached; machine is permanently healthy
+_PH_ONSET = 1     # a fault fires at t_event
+_PH_DECIDE = 2    # a repair decision is due at t_event
+_PH_COMPLETE = 3  # the running action finishes at t_event
+
+# Log-entry kind codes, matching LogEntry's causal tie-break ranks.
+_KIND_SYMPTOM = 0
+_KIND_ACTION = 1
+_KIND_SUCCESS = 2
+_KINDS = (EntryKind.SYMPTOM, EntryKind.ACTION, EntryKind.SUCCESS)
+
+
+class _Columns:
+    """Append-only column store: per-wave arrays, concatenated on demand."""
+
+    def __init__(self, *names: str) -> None:
+        self._names = names
+        self._chunks: Dict[str, List[np.ndarray]] = {n: [] for n in names}
+
+    def append(self, **arrays: np.ndarray) -> None:
+        for name in self._names:
+            self._chunks[name].append(np.asarray(arrays[name]))
+
+    def column(self, name: str, dtype=None) -> np.ndarray:
+        chunks = self._chunks[name]
+        if not chunks:
+            return np.empty(0, dtype=dtype if dtype is not None else float)
+        out = np.concatenate(chunks)
+        return out.astype(dtype) if dtype is not None else out
+
+
+@dataclass
+class FleetResult:
+    """Everything a fleet run produced, kept in flat arrays.
+
+    The log is stored as parallel columns (``times``, machine indices,
+    kind codes, description ids) and only materialized into
+    :class:`~repro.recoverylog.log.RecoveryLog` entry objects on
+    demand via :meth:`to_log` — at 10^5 machines the object
+    materialization costs more than the simulation itself.
+
+    Attributes
+    ----------
+    machine_names:
+        Dense machine index -> log machine name.
+    descriptions:
+        Dense description id -> symptom/action string.
+    log_times / log_machines / log_kinds / log_descriptions:
+        One row per log entry, in no particular order (sorted during
+        :meth:`to_log`).
+    proc_machines / proc_fault_times / proc_success_times / proc_fault_ids:
+        One row per completed recovery process.
+    step_procs / step_numbers / step_action_ids / step_costs /
+    step_forced / step_source_ids / step_expected_costs / step_succeeded:
+        One row per executed repair action, keyed by process row.
+    step_sources:
+        Dense source id -> decision provenance string.
+    action_names:
+        Action id -> name (catalog strength order).
+    failure_counts / recovery_counts:
+        Per-machine lifetime counters.
+    draw_counts:
+        The ``(machine, channel)`` RNG counter matrix after the run.
+    """
+
+    machine_names: Tuple[str, ...]
+    descriptions: Tuple[str, ...]
+    log_times: np.ndarray
+    log_machines: np.ndarray
+    log_kinds: np.ndarray
+    log_descriptions: np.ndarray
+    proc_machines: np.ndarray
+    proc_fault_times: np.ndarray
+    proc_success_times: np.ndarray
+    proc_fault_ids: np.ndarray
+    step_procs: np.ndarray
+    step_numbers: np.ndarray
+    step_action_ids: np.ndarray
+    step_costs: np.ndarray
+    step_forced: np.ndarray
+    step_source_ids: np.ndarray
+    step_expected_costs: np.ndarray
+    step_succeeded: np.ndarray
+    step_sources: Tuple[str, ...]
+    action_names: Tuple[str, ...]
+    failure_counts: np.ndarray
+    recovery_counts: np.ndarray
+    draw_counts: np.ndarray
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.log_times)
+
+    @property
+    def process_count(self) -> int:
+        return len(self.proc_machines)
+
+    def to_log(self) -> RecoveryLog:
+        """Materialize the flat columns into a sorted :class:`RecoveryLog`.
+
+        Ordering follows :class:`~repro.recoverylog.entry.LogEntry`'s
+        total order — ``(time, machine name, kind rank, description)``
+        — so the result is byte-identical to what the event backend's
+        incremental inserts produce.
+        """
+        names = np.asarray(self.machine_names)
+        descs = np.asarray(self.descriptions)
+        entry_names = names[self.log_machines]
+        entry_descs = descs[self.log_descriptions]
+        order = np.lexsort(
+            (entry_descs, self.log_kinds, entry_names, self.log_times)
+        )
+        entries = [
+            LogEntry(
+                float(self.log_times[i]),
+                str(entry_names[i]),
+                _KINDS[int(self.log_kinds[i])],
+                str(entry_descs[i]),
+            )
+            for i in order
+        ]
+        return RecoveryLog(entries)
+
+    def downtime_per_machine(self) -> np.ndarray:
+        """Seconds each machine spent inside recovery processes."""
+        downtime = np.zeros(len(self.machine_names), dtype=np.float64)
+        np.add.at(
+            downtime,
+            self.proc_machines,
+            self.proc_success_times - self.proc_fault_times,
+        )
+        return downtime
+
+    def process_actions(self) -> List[Tuple[str, ...]]:
+        """Executed action-name sequences, one per process row."""
+        order = np.lexsort((self.step_numbers, self.step_procs))
+        sequences: List[List[str]] = [[] for _ in range(self.process_count)]
+        procs = self.step_procs[order]
+        aids = self.step_action_ids[order]
+        for proc, aid in zip(procs.tolist(), aids.tolist()):
+            sequences[proc].append(self.action_names[aid])
+        return [tuple(seq) for seq in sequences]
+
+    def episode_traces(self) -> List[EpisodeTrace]:
+        """One trace per process, in success-time order.
+
+        The event backend emits traces at success events, i.e. in
+        global success-time order; this reproduces that order (ties
+        broken by machine index, which almost surely never fire under
+        continuous delays).
+        """
+        step_order = np.lexsort((self.step_numbers, self.step_procs))
+        steps_by_proc: List[List[StepTrace]] = [
+            [] for _ in range(self.process_count)
+        ]
+        for i in step_order.tolist():
+            proc = int(self.step_procs[i])
+            expected = float(self.step_expected_costs[i])
+            steps_by_proc[proc].append(
+                StepTrace(
+                    step=int(self.step_numbers[i]),
+                    attempt_count=int(self.step_numbers[i]),
+                    action=self.action_names[int(self.step_action_ids[i])],
+                    source=self.step_sources[int(self.step_source_ids[i])],
+                    forced=bool(self.step_forced[i]),
+                    cost=float(self.step_costs[i]),
+                    succeeded=bool(self.step_succeeded[i]),
+                    matched_log=None,
+                    expected_cost=None if np.isnan(expected) else expected,
+                )
+            )
+        proc_order = np.lexsort((self.proc_machines, self.proc_success_times))
+        traces = []
+        for proc in proc_order.tolist():
+            steps = tuple(steps_by_proc[proc])
+            traces.append(
+                EpisodeTrace(
+                    origin="cluster",
+                    error_type=self.descriptions[
+                        int(self.proc_fault_ids[proc])
+                    ],
+                    initial_cost=0.0,
+                    steps=steps,
+                    handled=True,
+                    forced_manual=any(s.forced for s in steps),
+                )
+            )
+        return traces
+
+
+class FleetEngine:
+    """Wave-vectorized cluster simulation over flat machine arrays.
+
+    Accepts the same model inputs as
+    :class:`~repro.cluster.cluster.ClusterSimulator` and produces the
+    same simulation — bit for bit, under the machine RNG discipline —
+    while supporting fleets of 10^5+ machines.
+
+    Parameters
+    ----------
+    config:
+        Cluster parameters; ``config.resolved_rng_discipline()`` must be
+        ``"machine"`` (the default when ``backend="fleet"``).
+    faults / policy / actions / streams:
+        As for the reference simulator.
+    episode_telemetry:
+        Optional observer receiving one trace per completed recovery
+        after the run, in success-time order.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        faults: FaultCatalog,
+        policy: Policy,
+        actions: Optional[ActionCatalog] = None,
+        streams: Optional[RngStreams] = None,
+        *,
+        episode_telemetry: Optional[EpisodeTelemetry] = None,
+    ) -> None:
+        if config.resolved_rng_discipline() != "machine":
+            raise ConfigurationError(
+                "FleetEngine requires the machine RNG discipline: waves "
+                "draw per machine, not in global event order; construct "
+                "the config with backend='fleet' or "
+                "rng_discipline='machine'"
+            )
+        if not policy.batch_safe:
+            raise ConfigurationError(
+                f"policy {policy.name!r} declares batch_safe=False (its "
+                "decisions consume internal RNG state, so they depend on "
+                "global decision order); use simulate_cluster(), which "
+                "falls back to the sequential reference backend"
+            )
+        self.config = config
+        self.faults = faults
+        self.policy = policy
+        self.actions = actions if actions is not None else default_catalog()
+        self.compiled: CompiledFaults = compile_fault_arrays(
+            faults, self.actions
+        )
+        self._streams = streams if streams is not None else RngStreams()
+        self._rand = MachineRandomSource(
+            self._streams.root_entropy, config.machine_count
+        )
+        self._telemetry = episode_telemetry
+        self._index = StateIndex(self.compiled.action_names)
+        self._action_ids: Dict[str, int] = {
+            name: aid for aid, name in enumerate(self.compiled.action_names)
+        }
+        self._forced_id = self._action_ids[self.actions.strongest.name]
+        self._models = [a.cost_model for a in self.actions.by_strength()]
+
+        # Description string interning.
+        self._desc_ids: Dict[str, int] = {}
+        self._descs: List[str] = []
+        F = self.compiled.fault_count
+        self._primary_desc = np.array(
+            [self._intern(s) for s in self.compiled.primary_symptoms],
+            dtype=np.int64,
+        )
+        width = self.compiled.max_secondaries
+        self._secondary_desc = np.full((F, max(width, 1)), -1, dtype=np.int64)
+        self._secondary_count = np.zeros(F, dtype=np.int64)
+        for fid, symptoms in enumerate(self.compiled.secondary_symptoms):
+            self._secondary_count[fid] = len(symptoms)
+            for slot, symptom in enumerate(symptoms):
+                self._secondary_desc[fid, slot] = self._intern(symptom)
+        self._action_desc = np.array(
+            [self._intern(n) for n in self.compiled.action_names],
+            dtype=np.int64,
+        )
+        self._success_desc = self._intern(SUCCESS_DESCRIPTION)
+        # Initial MDP state id per fault (error type = primary symptom).
+        self._initial_sid = np.array(
+            [
+                self._index.intern(RecoveryState.initial(s))
+                for s in self.compiled.primary_symptoms
+            ],
+            dtype=np.int64,
+        )
+        self._source_ids: Dict[str, int] = {}
+        self._sources: List[str] = []
+
+    def _intern(self, description: str) -> int:
+        did = self._desc_ids.get(description)
+        if did is None:
+            did = len(self._descs)
+            self._desc_ids[description] = did
+            self._descs.append(description)
+        return did
+
+    def _intern_source(self, source: str) -> int:
+        sid = self._source_ids.get(source)
+        if sid is None:
+            sid = len(self._sources)
+            self._source_ids[source] = sid
+            self._sources.append(source)
+        return sid
+
+    # ------------------------------------------------------------------
+    def run(self) -> FleetResult:
+        """Execute the wave loop to completion and return the result."""
+        cfg = self.config
+        com = self.compiled
+        N = cfg.machine_count
+        rand = self._rand
+
+        phase = np.full(N, _PH_ONSET, dtype=np.int8)
+        t_event = np.zeros(N, dtype=np.float64)
+        fault_id = np.full(N, -1, dtype=np.int64)
+        noise_id = np.full(N, -1, dtype=np.int64)
+        main_open = np.zeros(N, dtype=bool)
+        noise_open = np.zeros(N, dtype=bool)
+        attempts = np.zeros(N, dtype=np.int64)
+        state_sid = np.zeros(N, dtype=np.int64)
+        action_id = np.zeros(N, dtype=np.int64)
+        cur_proc = np.full(N, -1, dtype=np.int64)
+        pending_cost = np.zeros(N, dtype=np.float64)
+        pending_forced = np.zeros(N, dtype=bool)
+        pending_source = np.zeros(N, dtype=np.int64)
+        pending_expected = np.full(N, np.nan, dtype=np.float64)
+        failure_counts = np.zeros(N, dtype=np.int64)
+        recovery_counts = np.zeros(N, dtype=np.int64)
+
+        log = _Columns("t", "m", "k", "d")
+        candidates = _Columns("t", "m", "d")
+        procs = _Columns("m", "t", "f")
+        steps = _Columns("p", "n", "a", "c", "fo", "s", "e", "ok")
+        success_scatter: List[Tuple[np.ndarray, np.ndarray]] = []
+        next_proc = 0
+
+        # Initial fault arrivals: one gap per machine from t=0.
+        all_machines = np.arange(N, dtype=np.intp)
+        gaps = exponential_from_uniform(
+            rand.uniform_wave(all_machines, ARRIVALS),
+            cfg.mean_time_between_failures,
+        )
+        t_event[:] = gaps
+        phase[gaps > cfg.duration] = _PH_DONE
+
+        while True:
+            onset = np.flatnonzero(phase == _PH_ONSET).astype(np.intp)
+            if onset.size:
+                next_proc = self._onset_wave(
+                    onset, t_event, phase, fault_id, noise_id, main_open,
+                    noise_open, attempts, state_sid, cur_proc,
+                    failure_counts, log, candidates, procs, next_proc,
+                )
+            decide = np.flatnonzero(phase == _PH_DECIDE).astype(np.intp)
+            if decide.size:
+                self._decide_wave(
+                    decide, t_event, phase, fault_id, attempts, state_sid,
+                    action_id, pending_cost, pending_forced, pending_source,
+                    pending_expected, log,
+                )
+            complete = np.flatnonzero(phase == _PH_COMPLETE).astype(np.intp)
+            if complete.size:
+                self._complete_wave(
+                    complete, t_event, phase, fault_id, noise_id, main_open,
+                    noise_open, attempts, state_sid, action_id, cur_proc,
+                    pending_cost, pending_forced, pending_source,
+                    pending_expected, recovery_counts, log, candidates,
+                    steps, success_scatter,
+                )
+            if not (onset.size or decide.size or complete.size):
+                break
+
+        proc_success = np.zeros(next_proc, dtype=np.float64)
+        for pids, times in success_scatter:
+            proc_success[pids] = times
+
+        # Straggler candidates: emitted iff they fire inside one of the
+        # machine's recovery intervals [fault, success) — exactly the
+        # reference backend's "machine not HEALTHY at fire time" check,
+        # resolvable post-hoc because every interval is now closed.
+        cand_t = candidates.column("t", np.float64)
+        cand_m = candidates.column("m", np.int64)
+        cand_d = candidates.column("d", np.int64)
+        emitted = self._sweep_candidates(
+            cand_t, cand_m,
+            procs.column("t", np.float64),
+            proc_success,
+            procs.column("m", np.int64),
+        )
+        log.append(
+            t=cand_t[emitted],
+            m=cand_m[emitted],
+            k=np.full(int(emitted.sum()), _KIND_SYMPTOM, dtype=np.int8),
+            d=cand_d[emitted],
+        )
+
+        result = FleetResult(
+            machine_names=tuple(
+                cfg.machine_name_format.format(i) for i in range(N)
+            ),
+            descriptions=tuple(self._descs),
+            log_times=log.column("t", np.float64),
+            log_machines=log.column("m", np.int64),
+            log_kinds=log.column("k", np.int8),
+            log_descriptions=log.column("d", np.int64),
+            proc_machines=procs.column("m", np.int64),
+            proc_fault_times=procs.column("t", np.float64),
+            proc_success_times=proc_success,
+            proc_fault_ids=self._primary_desc[
+                procs.column("f", np.int64)
+            ] if next_proc else np.empty(0, dtype=np.int64),
+            step_procs=steps.column("p", np.int64),
+            step_numbers=steps.column("n", np.int64),
+            step_action_ids=steps.column("a", np.int64),
+            step_costs=steps.column("c", np.float64),
+            step_forced=steps.column("fo", bool),
+            step_source_ids=steps.column("s", np.int64),
+            step_expected_costs=steps.column("e", np.float64),
+            step_succeeded=steps.column("ok", bool),
+            step_sources=tuple(self._sources),
+            action_names=self.compiled.action_names,
+            failure_counts=failure_counts,
+            recovery_counts=recovery_counts,
+            draw_counts=rand.draw_counts(),
+        )
+        if self._telemetry is not None:
+            for trace in result.episode_traces():
+                self._telemetry.on_episode(trace)
+        return result
+
+    # ------------------------------------------------------------------
+    def _onset_wave(
+        self, I, t_event, phase, fault_id, noise_id, main_open, noise_open,
+        attempts, state_sid, cur_proc, failure_counts, log, candidates,
+        procs, next_proc,
+    ) -> int:
+        cfg = self.config
+        com = self.compiled
+        rand = self._rand
+        t = t_event[I].copy()
+        failure_counts[I] += 1
+
+        fids = np.asarray(
+            self.faults.index_from_uniform(rand.uniform_wave(I, ARRIVALS)),
+            dtype=np.int64,
+        )
+        nids = np.full(I.size, -1, dtype=np.int64)
+        if com.fault_count > 1:
+            coin = rand.uniform_wave(I, ARRIVALS)
+            drawing = coin < cfg.noise_probability
+            pending = I[drawing]
+            pending_fid = fids[drawing]
+            pending_pos = np.flatnonzero(drawing)
+            # Rejection loop: redraw while the overlap equals the main
+            # fault, exactly as the reference backend does per machine.
+            while pending.size:
+                draw = np.asarray(
+                    self.faults.index_from_uniform(
+                        rand.uniform_wave(pending, ARRIVALS)
+                    ),
+                    dtype=np.int64,
+                )
+                ok = draw != pending_fid
+                nids[pending_pos[ok]] = draw[ok]
+                pending = pending[~ok]
+                pending_fid = pending_fid[~ok]
+                pending_pos = pending_pos[~ok]
+
+        fault_id[I] = fids
+        noise_id[I] = nids
+        main_open[I] = True
+        noise_open[I] = nids >= 0
+        attempts[I] = 0
+        state_sid[I] = self._initial_sid[fids]
+
+        # Primary symptom (recorded synchronously; always the process's
+        # detection trigger, since stragglers never precede it).
+        log.append(
+            t=t, m=I,
+            k=np.full(I.size, _KIND_SYMPTOM, dtype=np.int8),
+            d=self._primary_desc[fids],
+        )
+
+        # Detection delay -> first decision time.
+        if cfg.detection_delay_mean > 0:
+            delay = exponential_from_uniform(
+                rand.uniform_wave(I, DELAYS), cfg.detection_delay_mean
+            )
+        else:
+            delay = np.zeros(I.size)
+        t_event[I] = t + delay
+        phase[I] = _PH_DECIDE
+
+        # Main fault's secondary-symptom candidates, slot by slot so each
+        # machine draws coin/offset pairs in list order.
+        self._queue_secondaries(I, fids, t, candidates)
+
+        # Overlapping noise fault: its primary appears strictly after the
+        # main primary; its secondaries hang off that offset time.
+        noisy = np.flatnonzero(nids >= 0)
+        if noisy.size:
+            nm = I[noisy]
+            offset = range_from_uniform(
+                rand.uniform_wave(nm, SYMPTOMS),
+                30.0, cfg.secondary_symptom_window,
+            )
+            noise_after = t[noisy] + offset
+            candidates.append(
+                t=noise_after, m=nm, d=self._primary_desc[nids[noisy]]
+            )
+            self._queue_secondaries(nm, nids[noisy], noise_after, candidates)
+
+        pids = np.arange(next_proc, next_proc + I.size, dtype=np.int64)
+        cur_proc[I] = pids
+        procs.append(m=I, t=t, f=fids)
+        return next_proc + I.size
+
+    def _queue_secondaries(self, machines, fids, after, candidates) -> None:
+        cfg = self.config
+        rand = self._rand
+        counts = self._secondary_count[fids]
+        width = int(counts.max()) if counts.size else 0
+        for slot in range(width):
+            has = counts > slot
+            sub = machines[has]
+            coin = rand.uniform_wave(sub, SYMPTOMS)
+            emit = coin < self.compiled.secondary_probability[fids[has]]
+            em = sub[emit]
+            if em.size:
+                offset = range_from_uniform(
+                    rand.uniform_wave(em, SYMPTOMS),
+                    1.0, cfg.secondary_symptom_window,
+                )
+                candidates.append(
+                    t=np.asarray(after)[has][emit] + offset,
+                    m=em,
+                    d=self._secondary_desc[fids[has][emit], slot],
+                )
+
+    # ------------------------------------------------------------------
+    def _decide_wave(
+        self, J, t_event, phase, fault_id, attempts, state_sid, action_id,
+        pending_cost, pending_forced, pending_source, pending_expected, log,
+    ) -> None:
+        cfg = self.config
+        rand = self._rand
+        t = t_event[J]
+
+        # The N-cap rule, from its single source in session.core.
+        forced_name = self.actions.strongest.name
+        forced_names = [
+            forced_action(int(a), cfg.max_actions, forced_name)
+            for a in attempts[J]
+        ]
+        states = [self._index.state(sid) for sid in state_sid[J].tolist()]
+        outcomes = decide_wave(self.policy, states, forced_names)
+        aids = np.empty(J.size, dtype=np.int64)
+        sources = np.empty(J.size, dtype=np.int64)
+        expected = np.full(J.size, np.nan, dtype=np.float64)
+        forced_mask = np.zeros(J.size, dtype=bool)
+        for pos, outcome in enumerate(outcomes):
+            if isinstance(outcome, UnhandledStateError):
+                # The online path must never swallow an unable policy —
+                # same contract as the reference backend.
+                raise outcome
+            aids[pos] = self._action_ids.get(outcome.action, -1)
+            if aids[pos] < 0:
+                # Unknown action name: surface the catalog's error.
+                self.actions[outcome.action]
+            sources[pos] = self._intern_source(outcome.source)
+            forced_mask[pos] = outcome.forced
+            if outcome.expected_cost is not None:
+                expected[pos] = outcome.expected_cost
+
+        log.append(
+            t=t, m=J,
+            k=np.full(J.size, _KIND_ACTION, dtype=np.int8),
+            d=self._action_desc[aids],
+        )
+
+        # Durations: one vectorized transform per action group; each
+        # machine draws its own cost uniforms in sequence, so grouping
+        # does not perturb per-machine draw order.
+        durations = np.empty(J.size, dtype=np.float64)
+        for aid in np.unique(aids).tolist():
+            in_group = aids == aid
+            sub = J[in_group]
+            model = self._models[aid]
+            if model.uniform_count:
+                uniforms = np.stack(
+                    [
+                        rand.uniform_wave(sub, COSTS_CHANNEL)
+                        for _ in range(model.uniform_count)
+                    ]
+                )
+            else:
+                uniforms = np.empty((0, sub.size))
+            durations[in_group] = model.from_uniforms(uniforms)
+        durations = durations * self.compiled.cost_scale[fault_id[J]]
+
+        action_id[J] = aids
+        pending_cost[J] = durations
+        pending_forced[J] = forced_mask
+        pending_source[J] = sources
+        pending_expected[J] = expected
+        t_event[J] = t + durations
+        phase[J] = _PH_COMPLETE
+
+    # ------------------------------------------------------------------
+    def _complete_wave(
+        self, K, t_event, phase, fault_id, noise_id, main_open, noise_open,
+        attempts, state_sid, action_id, cur_proc, pending_cost,
+        pending_forced, pending_source, pending_expected, recovery_counts,
+        log, candidates, steps, success_scatter,
+    ) -> None:
+        cfg = self.config
+        com = self.compiled
+        rand = self._rand
+        t = t_event[K]
+
+        # Cure checks, main fault first then the overlap — the same
+        # per-machine order the reference iterates its uncured list in.
+        sub = K[main_open[K]]
+        if sub.size:
+            u = rand.uniform_wave(sub, CURES)
+            cured = u < com.cure[fault_id[sub], action_id[sub]]
+            main_open[sub] = ~cured
+        subn = K[noise_open[K]]
+        if subn.size:
+            u = rand.uniform_wave(subn, CURES)
+            cured = u < com.cure[noise_id[subn], action_id[subn]]
+            noise_open[subn] = ~cured
+
+        succeeded = ~(main_open[K] | noise_open[K])
+        step_no = attempts[K]
+        attempts[K] += 1
+        steps.append(
+            p=cur_proc[K], n=step_no, a=action_id[K], c=pending_cost[K],
+            fo=pending_forced[K], s=pending_source[K],
+            e=pending_expected[K], ok=succeeded,
+        )
+
+        S = K[succeeded]
+        if S.size:
+            recovery_counts[S] += 1
+            log.append(
+                t=t[succeeded], m=S,
+                k=np.full(S.size, _KIND_SUCCESS, dtype=np.int8),
+                d=np.full(S.size, self._success_desc, dtype=np.int64),
+            )
+            success_scatter.append((cur_proc[S], t[succeeded]))
+            gaps = exponential_from_uniform(
+                rand.uniform_wave(S, ARRIVALS),
+                cfg.mean_time_between_failures,
+            )
+            next_fault = t[succeeded] + gaps
+            beyond = next_fault > cfg.duration
+            t_event[S] = next_fault
+            phase[S] = np.where(beyond, _PH_DONE, _PH_ONSET)
+            fault_id[S] = -1
+            noise_id[S] = -1
+            cur_proc[S] = -1
+
+        R = K[~succeeded]
+        if R.size:
+            tr = t[~succeeded]
+            # Symptom re-emission per still-open fault, [main, noise]
+            # order within each machine.
+            for open_flags, ids in (
+                (main_open, fault_id),
+                (noise_open, noise_id),
+            ):
+                openr = open_flags[R]
+                subr = R[openr]
+                if not subr.size:
+                    continue
+                coin = rand.uniform_wave(subr, SYMPTOMS)
+                emit = coin < cfg.symptom_reemission_probability
+                em = subr[emit]
+                if em.size:
+                    offset = range_from_uniform(
+                        rand.uniform_wave(em, SYMPTOMS), 1.0, 120.0
+                    )
+                    candidates.append(
+                        t=tr[openr][emit] + offset,
+                        m=em,
+                        d=self._primary_desc[ids[em]],
+                    )
+            if cfg.decision_delay_mean > 0:
+                delay = exponential_from_uniform(
+                    rand.uniform_wave(R, DELAYS), cfg.decision_delay_mean
+                )
+            else:
+                delay = np.zeros(R.size)
+            # Failure continuations: map (state, action) -> successor id
+            # once per distinct pair, then scatter — machines cluster on
+            # few distinct recovery prefixes, so this stays cheap.
+            A = len(com.action_names)
+            pairs = state_sid[R] * A + action_id[R]
+            unique_pairs, inverse = np.unique(pairs, return_inverse=True)
+            successors = np.array(
+                [
+                    self._index.successor(int(p) // A, int(p) % A, False)
+                    for p in unique_pairs.tolist()
+                ],
+                dtype=np.int64,
+            )
+            state_sid[R] = successors[inverse]
+            t_event[R] = tr + delay
+            phase[R] = _PH_DECIDE
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sweep_candidates(
+        cand_t: np.ndarray,
+        cand_m: np.ndarray,
+        start_t: np.ndarray,
+        end_t: np.ndarray,
+        interval_m: np.ndarray,
+    ) -> np.ndarray:
+        """Which candidates fall inside a ``[start, end)`` interval of
+        their machine.
+
+        One global sweep: order events by (machine, time, priority) with
+        interval ends before candidates before interval starts at equal
+        times (half-open semantics), then a running open-interval count.
+        Every machine's starts and ends balance, so a single global
+        cumulative sum is valid across machine boundaries.
+        """
+        if not cand_t.size:
+            return np.zeros(0, dtype=bool)
+        times = np.concatenate([end_t, cand_t, start_t])
+        machines = np.concatenate([interval_m, cand_m, interval_m])
+        priority = np.concatenate(
+            [
+                np.zeros(end_t.size, dtype=np.int8),
+                np.ones(cand_t.size, dtype=np.int8),
+                np.full(start_t.size, 2, dtype=np.int8),
+            ]
+        )
+        delta = np.concatenate(
+            [
+                np.full(end_t.size, -1, dtype=np.int64),
+                np.zeros(cand_t.size, dtype=np.int64),
+                np.ones(start_t.size, dtype=np.int64),
+            ]
+        )
+        order = np.lexsort((priority, times, machines))
+        open_count = np.cumsum(delta[order])
+        is_candidate = priority[order] == 1
+        emitted_in_order = open_count[is_candidate] > 0
+        # Un-permute back to candidate input order.
+        candidate_positions = np.flatnonzero(is_candidate)
+        original = order[candidate_positions] - end_t.size
+        emitted = np.zeros(cand_t.size, dtype=bool)
+        emitted[original] = emitted_in_order
+        return emitted
+
+
+def simulate_cluster(
+    config: ClusterConfig,
+    faults: FaultCatalog,
+    policy: Policy,
+    actions: Optional[ActionCatalog] = None,
+    streams: Optional[RngStreams] = None,
+    *,
+    episode_telemetry: Optional[EpisodeTelemetry] = None,
+) -> RecoveryLog:
+    """Run a cluster simulation on the backend ``config`` selects.
+
+    ``backend="event"`` runs the reference event-driven simulator;
+    ``backend="fleet"`` runs the vectorized wave engine.  Policies with
+    ``batch_safe = False`` cannot be decided in waves, so a fleet
+    request with such a policy falls back to the *sequential reference
+    backend under the machine RNG discipline* — producing exactly the
+    trace the fleet backend defines, just without the vectorized
+    speed.
+    """
+    if config.backend == "fleet" and policy.batch_safe:
+        engine = FleetEngine(
+            config, faults, policy, actions, streams,
+            episode_telemetry=episode_telemetry,
+        )
+        return engine.run().to_log()
+    simulator = ClusterSimulator(
+        config, faults, policy, actions, streams,
+        episode_telemetry=episode_telemetry,
+    )
+    return simulator.run()

@@ -19,6 +19,24 @@ class MachineState(enum.Enum):
     FAILED = "failed"        # fault present, not yet detected
     RECOVERING = "recovering"  # repair actions in progress
 
+    @property
+    def code(self) -> int:
+        """Dense integer code for flat status arrays (fleet backend)."""
+        return _STATE_CODES[self]
+
+    @classmethod
+    def from_code(cls, code: int) -> "MachineState":
+        """Inverse of :attr:`code`."""
+        return _STATES_BY_CODE[code]
+
+
+_STATE_CODES = {
+    MachineState.HEALTHY: 0,
+    MachineState.FAILED: 1,
+    MachineState.RECOVERING: 2,
+}
+_STATES_BY_CODE = {code: state for state, code in _STATE_CODES.items()}
+
 
 @dataclass
 class Machine:
@@ -48,6 +66,9 @@ class Machine:
     actions_tried: List[str] = field(default_factory=list)
     failure_count: int = 0
     recovery_count: int = 0
+    #: Dense machine index used to address per-machine RNG channels;
+    #: -1 for machines created outside a simulator.
+    index: int = -1
 
     def fail(self, fault: FaultType, noise_fault: Optional[FaultType] = None) -> None:
         """Transition HEALTHY -> FAILED with the given ground-truth fault."""

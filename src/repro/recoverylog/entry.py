@@ -29,12 +29,27 @@ class EntryKind(enum.Enum):
     SUCCESS = "success"
 
 
-@dataclass(frozen=True, order=True)
+#: Tie-break rank when entries share (time, machine): at one instant a
+#: symptom causally precedes the action reacting to it, which precedes
+#: the success report.  (Enum members themselves do not define ``<``,
+#: so ordering must not fall back to comparing ``kind`` directly.)
+_KIND_RANK = {
+    EntryKind.SYMPTOM: 0,
+    EntryKind.ACTION: 1,
+    EntryKind.SUCCESS: 2,
+}
+
+
+@dataclass(frozen=True)
 class LogEntry:
     """One ``<time, machine, description>`` record.
 
-    Ordering is by ``(time, machine, ...)`` so that sorting a list of
-    entries yields global time order with a deterministic tie-break.
+    Ordering is by ``(time, machine, kind rank, description)`` so that
+    sorting a list of entries yields global time order with a
+    deterministic, causality-respecting tie-break: with zero detection
+    and decision delays a symptom, the action answering it and the
+    success report can share a timestamp, and they must sort in that
+    order.
     """
 
     time: float
@@ -69,6 +84,37 @@ class LogEntry:
     def success(cls, time: float, machine: str) -> "LogEntry":
         """Build a successful-recovery report entry."""
         return cls(time, machine, EntryKind.SUCCESS, SUCCESS_DESCRIPTION)
+
+    @property
+    def sort_key(self) -> "tuple[float, str, int, str]":
+        """The total-order key: ``(time, machine, kind rank, description)``.
+
+        Distinct entries always compare unequal under this key except
+        when all four components coincide — in which case the entries
+        are equal outright — so the induced order is total and
+        consistent with ``==``.
+        """
+        return (self.time, self.machine, _KIND_RANK[self.kind], self.description)
+
+    def __lt__(self, other: "LogEntry") -> bool:
+        if not isinstance(other, LogEntry):
+            return NotImplemented
+        return self.sort_key < other.sort_key
+
+    def __le__(self, other: "LogEntry") -> bool:
+        if not isinstance(other, LogEntry):
+            return NotImplemented
+        return self.sort_key <= other.sort_key
+
+    def __gt__(self, other: "LogEntry") -> bool:
+        if not isinstance(other, LogEntry):
+            return NotImplemented
+        return self.sort_key > other.sort_key
+
+    def __ge__(self, other: "LogEntry") -> bool:
+        if not isinstance(other, LogEntry):
+            return NotImplemented
+        return self.sort_key >= other.sort_key
 
     @property
     def is_symptom(self) -> bool:

@@ -13,8 +13,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.actions.action import ActionCatalog, default_catalog
-from repro.cluster.cluster import ClusterSimulator
 from repro.cluster.faults import FaultCatalog
+from repro.cluster.fleet import simulate_cluster
 from repro.policies.base import Policy
 from repro.policies.user_defined import UserDefinedPolicy
 from repro.recoverylog.log import RecoveryLog
@@ -77,14 +77,13 @@ class TraceGenerator:
         """Run the simulation and return the trace bundle."""
         catalog = generate_fault_catalog(self.config.catalog, self.config.seed)
         streams = RngStreams(self.config.seed)
-        simulator = ClusterSimulator(
-            config=self.config.cluster,
-            faults=catalog,
-            policy=self.policy,
-            actions=self.actions,
-            streams=streams,
+        log = simulate_cluster(
+            self.config.cluster,
+            catalog,
+            self.policy,
+            self.actions,
+            streams,
         )
-        log = simulator.run()
         return GeneratedTrace(
             log=log,
             fault_catalog=catalog,

@@ -76,6 +76,25 @@ class RngStreams:
         """The root seed this family was created with."""
         return self._seed
 
+    @property
+    def root_entropy(self) -> int:
+        """The root :class:`~numpy.random.SeedSequence` entropy.
+
+        Equals ``seed`` when one was given; otherwise the OS entropy the
+        root sequence gathered, so even seedless runs expose one stable
+        integer from which sibling deterministic key schedules (the
+        counter-based per-machine streams) can be derived.
+        """
+        entropy = self._root.entropy
+        if isinstance(entropy, int):
+            return entropy
+        # SeedSequence stores pooled entropy as a sequence of ints for
+        # some seed shapes; fold it into one stable integer.
+        folded = 0
+        for word in np.atleast_1d(np.asarray(entropy, dtype=object)):
+            folded = (folded << 32) | int(word)
+        return folded
+
     def get(self, name: str) -> np.random.Generator:
         """Return the generator for ``name``, creating it on first use.
 

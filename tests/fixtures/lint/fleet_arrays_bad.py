@@ -1,0 +1,30 @@
+"""Numpy-heavy violations of R1 and R4, fleet-engine shaped.
+
+The exact temptations a vectorized wave engine invites: caching compiled
+per-catalog arrays under ``id(catalog)`` (R1 — addresses recycle across
+garbage-collected catalogs) and iterating bare sets built from array
+results (R4 — set order varies across runs/processes, so wave order
+would too).
+"""
+
+import numpy as np
+
+_COMPILED = {}
+
+
+def compiled_arrays(catalog):
+    key = id(catalog)
+    if key not in _COMPILED:
+        _COMPILED[key] = np.cumsum(catalog.weights)
+    return _COMPILED[key]
+
+
+def wave_groups(action_ids):
+    groups = []
+    for aid in set(action_ids.tolist()):
+        groups.append(np.flatnonzero(action_ids == aid))
+    return groups
+
+
+def machine_labels(machines, names):
+    return [names[m] for m in {int(m) for m in machines}]

@@ -1,0 +1,26 @@
+"""Clean twins of ``fleet_arrays_bad.py``: value keys, ordered iteration.
+
+Per-catalog arrays are compiled into a value-identified holder instead
+of an ``id()``-keyed cache, and wave grouping iterates ``np.unique``
+output (sorted, deterministic) rather than a bare set.
+"""
+
+import numpy as np
+
+
+class CompiledCatalog:
+    """Arrays travel with their owner; no address-keyed cache needed."""
+
+    def __init__(self, catalog):
+        self.cumulative = np.cumsum(catalog.weights)
+
+
+def wave_groups(action_ids):
+    groups = []
+    for aid in np.unique(action_ids).tolist():
+        groups.append(np.flatnonzero(action_ids == aid))
+    return groups
+
+
+def machine_labels(machines, names):
+    return [names[m] for m in sorted({int(m) for m in machines})]

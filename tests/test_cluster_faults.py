@@ -141,3 +141,142 @@ class TestValidateFaultCatalog:
         catalog = FaultCatalog([fault("a", cures={"FSCK": 0.5})])
         with pytest.raises(ConfigurationError, match="unknown action"):
             validate_fault_catalog(catalog, default_catalog())
+
+
+# ---------------------------------------------------------------------------
+# Property-based invariants (hypothesis)
+# ---------------------------------------------------------------------------
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.faults import CompiledFaults, compile_fault_arrays
+from repro.util.rng import make_rng
+
+
+@st.composite
+def random_catalogs(draw):
+    count = draw(st.integers(1, 6))
+    faults = []
+    for fid in range(count):
+        cures = {}
+        running = 0.0
+        for name in ("TRYNOP", "REBOOT", "REIMAGE"):
+            running = max(running, draw(st.floats(0.0, 1.0, allow_nan=False)))
+            if draw(st.booleans()):
+                cures[name] = running
+        faults.append(
+            fault(
+                name=f"f{fid}",
+                primary=f"error:P{fid}",
+                cures=cures,
+                weight=draw(st.floats(0.05, 20.0, allow_nan=False)),
+                secondary_symptoms=tuple(
+                    f"warn:P{fid}s{k}" for k in range(draw(st.integers(0, 3)))
+                ),
+                secondary_probability=draw(st.floats(0.0, 1.0, allow_nan=False)),
+                cost_scale=draw(st.floats(0.1, 5.0, allow_nan=False)),
+            )
+        )
+    return FaultCatalog(faults)
+
+
+class TestCatalogProperties:
+    @given(catalog=random_catalogs())
+    @settings(max_examples=60, deadline=None)
+    def test_occurrence_probabilities_normalized(self, catalog):
+        probabilities = catalog.occurrence_probabilities()
+        assert all(p > 0 for p in probabilities.values())
+        assert np.isclose(sum(probabilities.values()), 1.0)
+
+    @given(catalog=random_catalogs())
+    @settings(max_examples=60, deadline=None)
+    def test_cumulative_monotone_and_complete(self, catalog):
+        cumulative = catalog.cumulative_probabilities()
+        assert np.all(np.diff(cumulative) >= 0)
+        assert np.isclose(cumulative[-1], 1.0)
+        # The returned array is a copy: mutating it must not perturb
+        # subsequent sampling.
+        cumulative[:] = 0.0
+        assert np.isclose(catalog.cumulative_probabilities()[-1], 1.0)
+
+    @given(
+        catalog=random_catalogs(),
+        u=st.floats(0.0, 1.0, exclude_max=True, allow_nan=False),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_index_from_uniform_is_inverse_cdf(self, catalog, u):
+        """The scalar and vector forms agree, stay in range, and invert
+        the cumulative distribution."""
+        index = catalog.index_from_uniform(u)
+        assert 0 <= index < len(catalog)
+        cumulative = catalog.cumulative_probabilities()
+        if index > 0:
+            assert u >= cumulative[index - 1]
+        if index < len(catalog) - 1:
+            assert u < cumulative[index]
+        vector = catalog.index_from_uniform(np.array([u]))
+        assert vector.dtype == np.intp
+        assert int(vector[0]) == index
+
+    @given(catalog=random_catalogs(), seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_sample_index_in_range(self, catalog, seed):
+        rng = make_rng(seed)
+        for _ in range(5):
+            assert 0 <= catalog.sample_index(rng) < len(catalog)
+
+
+class TestCompiledFaultsProperties:
+    @given(catalog=random_catalogs())
+    @settings(max_examples=60, deadline=None)
+    def test_cure_matrix_monotone_in_strength(self, catalog):
+        """Hypothesis 2 compiled: every row is non-decreasing along the
+        strength order and the manual column is exactly 1."""
+        actions = default_catalog()
+        compiled = compile_fault_arrays(catalog, actions)
+        assert isinstance(compiled, CompiledFaults)
+        assert compiled.cure.shape == (len(catalog), len(actions.by_strength()))
+        assert np.all(np.diff(compiled.cure, axis=1) >= 0)
+        manual_column = [
+            aid
+            for aid, action in enumerate(actions.by_strength())
+            if action.manual
+        ]
+        assert np.all(compiled.cure[:, manual_column] == 1.0)
+
+    @given(catalog=random_catalogs())
+    @settings(max_examples=60, deadline=None)
+    def test_compiled_arrays_mirror_catalog(self, catalog):
+        compiled = compile_fault_arrays(catalog, default_catalog())
+        assert compiled.fault_count == len(catalog)
+        assert compiled.primary_symptoms == tuple(
+            f.primary_symptom for f in catalog
+        )
+        assert np.array_equal(
+            compiled.cumulative, catalog.cumulative_probabilities()
+        )
+        assert np.array_equal(
+            compiled.cost_scale, np.array([f.cost_scale for f in catalog])
+        )
+        assert compiled.max_secondaries == max(
+            (len(f.secondary_symptoms) for f in catalog), default=0
+        )
+
+    @given(catalog=random_catalogs(), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_index_from_uniform_matches_compiled_cumulative(
+        self, catalog, seed
+    ):
+        """One batch of uniforms maps identically through the catalog's
+        scalar path and the compiled cumulative array — the agreement
+        the fleet backend's onset wave relies on."""
+        compiled = compile_fault_arrays(catalog, default_catalog())
+        uniforms = make_rng(seed).random(64)
+        vector = catalog.index_from_uniform(uniforms)
+        by_compiled = np.minimum(
+            np.searchsorted(compiled.cumulative, uniforms, side="right"),
+            compiled.fault_count - 1,
+        )
+        assert np.array_equal(vector, by_compiled)
+        for u, index in zip(uniforms, vector):
+            assert catalog.index_from_uniform(float(u)) == int(index)

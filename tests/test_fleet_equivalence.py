@@ -1,0 +1,523 @@
+"""Differential fuzzing: fleet backend vs the event-driven reference.
+
+The fleet engine's contract is *bit identity* with
+:class:`~repro.cluster.cluster.ClusterSimulator` under the machine RNG
+discipline — same log entries (exact float times), same per-machine
+downtime, same action sequences, same telemetry traces and same RNG
+draw counters.  These tests pin that contract the way
+``test_backend_equivalence`` pins the dict/array Q-table pair: generate
+random cluster scenarios with hypothesis (machine counts, horizons,
+fault catalogs, delay regimes, policy families) and compare every
+observable of the two backends exactly.
+
+Well over 200 scenarios run across this module's generators (120 in the
+main sweep, 40 per policy family, plus a deeper slow-lane sweep).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.actions import default_catalog
+from repro.cluster.cluster import ClusterConfig, ClusterSimulator
+from repro.cluster.faults import FaultCatalog, FaultType
+from repro.cluster.fleet import FleetEngine, simulate_cluster
+from repro.errors import ConfigurationError, UnhandledStateError
+from repro.mdp.state import RecoveryState
+from repro.policies.base import Policy, PolicyDecision
+from repro.policies.hybrid import HybridPolicy
+from repro.policies.static import AlwaysStrongestPolicy
+from repro.policies.trained import TrainedPolicy
+from repro.policies.user_defined import UserDefinedPolicy
+from repro.session.trace import EpisodeTelemetry
+from repro.util.rng import RngStreams
+
+CATALOG = default_catalog()
+DAY = 86_400.0
+
+# Non-manual action names in strength order (cure probabilities must be
+# monotone along this order).
+_LADDER = [a.name for a in CATALOG.by_strength() if not a.manual]
+
+
+class _TraceRecorder(EpisodeTelemetry):
+    def __init__(self) -> None:
+        self.traces = []
+
+    def on_episode(self, trace) -> None:
+        self.traces.append(trace)
+
+
+# ---------------------------------------------------------------------------
+# Scenario strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def fault_catalogs(draw) -> FaultCatalog:
+    fault_count = draw(st.integers(1, 4))
+    faults = []
+    for fid in range(fault_count):
+        # Monotone-in-strength cure probabilities via running max over
+        # per-rung draws; a rung may be omitted (inherits hypothesis 2).
+        cures = {}
+        running = 0.0
+        for name in _LADDER:
+            running = max(
+                running, draw(st.floats(0.0, 1.0, allow_nan=False))
+            )
+            if draw(st.booleans()):
+                cures[name] = round(running, 6)
+        secondary_count = draw(st.integers(0, 3))
+        faults.append(
+            FaultType(
+                name=f"fault-{fid}",
+                primary_symptom=f"error:F{fid}",
+                secondary_symptoms=tuple(
+                    f"warn:F{fid}s{k}" for k in range(secondary_count)
+                ),
+                secondary_probability=draw(
+                    st.floats(0.0, 1.0, allow_nan=False)
+                ),
+                cure_probabilities=cures,
+                weight=draw(
+                    st.floats(0.1, 10.0, allow_nan=False, allow_infinity=False)
+                ),
+                cost_scale=draw(st.floats(0.2, 3.0, allow_nan=False)),
+            )
+        )
+    return FaultCatalog(faults)
+
+
+@st.composite
+def cluster_configs(draw, **overrides) -> dict:
+    params = dict(
+        machine_count=draw(st.integers(1, 8)),
+        duration=draw(st.floats(5.0, 20.0)) * DAY,
+        mean_time_between_failures=draw(st.floats(1.0, 4.0)) * DAY,
+        detection_delay_mean=draw(
+            st.sampled_from([0.0, 60.0, 300.0, 900.0])
+        ),
+        decision_delay_mean=draw(
+            st.sampled_from([0.0, 60.0, 300.0, 900.0])
+        ),
+        secondary_symptom_window=draw(st.floats(100.0, 1500.0)),
+        symptom_reemission_probability=draw(
+            st.floats(0.0, 1.0, allow_nan=False)
+        ),
+        noise_probability=draw(st.sampled_from([0.0, 0.1, 0.3, 0.5])),
+        max_actions=draw(st.integers(2, 6)),
+    )
+    params.update(overrides)
+    return params
+
+
+def trained_chain_policy(draw, faults: FaultCatalog, max_actions: int):
+    """A trained policy with complete rules along its own decision chain.
+
+    A deterministic rule table only ever visits the states its own
+    choices produce, so covering the single chain per error type (up to
+    the cap's last free slot) makes the policy proper for these runs.
+    """
+    action_names = [a.name for a in CATALOG.by_strength()]
+    rules = {}
+    for fault in faults:
+        tried = ()
+        for _step in range(max_actions - 1):
+            action = draw(st.sampled_from(action_names))
+            cost = draw(st.floats(1.0, 1e5, allow_nan=False))
+            rules[
+                RecoveryState(fault.primary_symptom, False, tried)
+            ] = (action, cost)
+            tried = tried + (action,)
+    return TrainedPolicy(rules)
+
+
+@st.composite
+def policies(draw, faults: FaultCatalog, max_actions: int) -> Policy:
+    family = draw(
+        st.sampled_from(["user", "user-budgets", "strongest", "trained", "hybrid"])
+    )
+    if family == "user":
+        return UserDefinedPolicy(CATALOG)
+    if family == "user-budgets":
+        budgets = {
+            name: draw(st.integers(0, 3))
+            for name in _LADDER
+            if draw(st.booleans())
+        }
+        return UserDefinedPolicy(CATALOG, retry_budgets=budgets)
+    if family == "strongest":
+        return AlwaysStrongestPolicy(CATALOG)
+    if family == "trained":
+        return trained_chain_policy(draw, faults, max_actions)
+    # Hybrid: the trained member keeps only a truncated rule chain, so
+    # deeper states revert to the user-defined fallback mid-episode.
+    full = trained_chain_policy(draw, faults, max_actions)
+    keep = draw(st.integers(0, max_actions - 1))
+    truncated = {
+        state: rule
+        for state, rule in full.rules.items()
+        if state.attempt_count < keep
+    }
+    return HybridPolicy(TrainedPolicy(truncated), UserDefinedPolicy(CATALOG))
+
+
+# ---------------------------------------------------------------------------
+# The differential core
+# ---------------------------------------------------------------------------
+def run_both(params, faults, policy_builder, seed):
+    """Run event (machine discipline) and fleet on one scenario."""
+    event_cfg = ClusterConfig(rng_discipline="machine", **params)
+    fleet_cfg = ClusterConfig(backend="fleet", **params)
+    event_rec, fleet_rec = _TraceRecorder(), _TraceRecorder()
+    simulator = ClusterSimulator(
+        event_cfg,
+        faults,
+        policy_builder(),
+        CATALOG,
+        RngStreams(seed),
+        episode_telemetry=event_rec,
+    )
+    event_log = simulator.run()
+    engine = FleetEngine(
+        fleet_cfg,
+        faults,
+        policy_builder(),
+        CATALOG,
+        RngStreams(seed),
+        episode_telemetry=fleet_rec,
+    )
+    result = engine.run()
+    return simulator, event_log, event_rec, result, fleet_rec
+
+
+def assert_equivalent(simulator, event_log, event_rec, result, fleet_rec):
+    fleet_log = result.to_log()
+    # Bit-exact log identity: same entries, same float times, same order.
+    assert fleet_log == event_log
+    # Same RNG consumption per (machine, channel).
+    assert np.array_equal(
+        simulator.random_source.draw_counts(), result.draw_counts
+    )
+    # Same per-machine lifetime counters.
+    names = [
+        simulator.config.machine_name_format.format(i)
+        for i in range(simulator.config.machine_count)
+    ]
+    assert np.array_equal(
+        result.failure_counts,
+        np.array([simulator.machines[n].failure_count for n in names]),
+    )
+    assert np.array_equal(
+        result.recovery_counts,
+        np.array([simulator.machines[n].recovery_count for n in names]),
+    )
+    # Same per-machine downtime and per-process action sequences, via
+    # the flat-array accessors (not just via to_log).
+    processes = event_log.to_processes()
+    downtime = dict.fromkeys(names, 0.0)
+    for process in processes:
+        downtime[process.machine] += (
+            process.entries[-1].time - process.entries[0].time
+        )
+    fleet_downtime = result.downtime_per_machine()
+    for i, name in enumerate(names):
+        assert fleet_downtime[i] == downtime[name]
+    expected_sequences = sorted(
+        (p.machine, p.entries[0].time, tuple(e.description for e in p.entries if e.is_action))
+        for p in processes
+    )
+    fleet_sequences = sorted(
+        zip(
+            (names[m] for m in result.proc_machines),
+            result.proc_fault_times,
+            result.process_actions(),
+        )
+    )
+    assert fleet_sequences == expected_sequences
+    # Same telemetry traces, in the same order.
+    assert fleet_rec.traces == event_rec.traces
+
+
+# ---------------------------------------------------------------------------
+# Fuzz sweeps
+# ---------------------------------------------------------------------------
+class TestFuzzEquivalence:
+    @given(data=st.data())
+    @settings(
+        max_examples=120,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_random_scenarios(self, data):
+        """Main sweep: random configs, catalogs, policies and seeds."""
+        params = data.draw(cluster_configs())
+        faults = data.draw(fault_catalogs())
+        policy_spec = data.draw(policies(faults, params["max_actions"]))
+        seed = data.draw(st.integers(0, 2**32 - 1))
+        # Build fresh, independent policy instances per backend (hybrid
+        # policies carry fallback counters; sharing one would couple the
+        # runs).
+        outputs = run_both(
+            params, faults, lambda: copy.deepcopy(policy_spec), seed
+        )
+        assert_equivalent(*outputs)
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_trained_policy_scenarios(self, data):
+        """Trained rule tables exercise forced-cap and batch decide paths."""
+        params = data.draw(cluster_configs(noise_probability=0.3))
+        faults = data.draw(fault_catalogs())
+        policy = trained_chain_policy(data.draw, faults, params["max_actions"])
+        seed = data.draw(st.integers(0, 2**16))
+        outputs = run_both(params, faults, lambda: policy, seed)
+        assert_equivalent(*outputs)
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_zero_delay_scenarios(self, data):
+        """Zero delays collapse symptom/action/success onto shared
+        timestamps — the regime that exercises the log's causal
+        tie-break ordering."""
+        params = data.draw(
+            cluster_configs(
+                detection_delay_mean=0.0, decision_delay_mean=0.0
+            )
+        )
+        faults = data.draw(fault_catalogs())
+        seed = data.draw(st.integers(0, 2**16))
+        outputs = run_both(
+            params, faults, lambda: UserDefinedPolicy(CATALOG), seed
+        )
+        assert_equivalent(*outputs)
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    @pytest.mark.slow
+    def test_deep_scenarios(self, data):
+        """Slow lane: larger fleets and longer horizons."""
+        params = data.draw(cluster_configs())
+        params["machine_count"] = data.draw(st.integers(20, 60))
+        params["duration"] = data.draw(st.floats(20.0, 60.0)) * DAY
+        faults = data.draw(fault_catalogs())
+        policy_spec = data.draw(policies(faults, params["max_actions"]))
+        seed = data.draw(st.integers(0, 2**32 - 1))
+        outputs = run_both(
+            params, faults, lambda: copy.deepcopy(policy_spec), seed
+        )
+        assert_equivalent(*outputs)
+
+
+# ---------------------------------------------------------------------------
+# Directed edges
+# ---------------------------------------------------------------------------
+def simple_faults():
+    return FaultCatalog(
+        [
+            FaultType(
+                name="transient",
+                primary_symptom="error:Transient",
+                cure_probabilities={"TRYNOP": 0.7, "REBOOT": 0.95},
+                weight=3.0,
+            ),
+            FaultType(
+                name="hard",
+                primary_symptom="error:Hard",
+                secondary_symptoms=("warn:Side",),
+                cure_probabilities={"REIMAGE": 0.95},
+                weight=1.0,
+            ),
+        ]
+    )
+
+
+def small_params(**overrides):
+    params = dict(
+        machine_count=10,
+        duration=30 * DAY,
+        mean_time_between_failures=3 * DAY,
+        noise_probability=0.3,
+    )
+    params.update(overrides)
+    return params
+
+
+class TestDirectedEquivalence:
+    def test_single_machine_fleet(self):
+        outputs = run_both(
+            small_params(machine_count=1),
+            simple_faults(),
+            lambda: UserDefinedPolicy(CATALOG),
+            seed=11,
+        )
+        assert_equivalent(*outputs)
+
+    def test_single_fault_catalog_skips_noise_coin(self):
+        faults = FaultCatalog(
+            [
+                FaultType(
+                    name="only",
+                    primary_symptom="error:Only",
+                    cure_probabilities={"REBOOT": 0.8},
+                )
+            ]
+        )
+        outputs = run_both(
+            small_params(noise_probability=0.5),
+            faults,
+            lambda: UserDefinedPolicy(CATALOG),
+            seed=21,
+        )
+        assert_equivalent(*outputs)
+
+    def test_tight_action_cap(self):
+        outputs = run_both(
+            small_params(max_actions=2),
+            simple_faults(),
+            lambda: UserDefinedPolicy(CATALOG),
+            seed=31,
+        )
+        assert_equivalent(*outputs)
+
+    def test_always_reemitting_symptoms(self):
+        outputs = run_both(
+            small_params(symptom_reemission_probability=1.0),
+            simple_faults(),
+            lambda: AlwaysStrongestPolicy(CATALOG),
+            seed=41,
+        )
+        assert_equivalent(*outputs)
+
+    def test_both_backends_raise_on_unhandled_state(self):
+        """An improper policy aborts both backends with the same error
+        type — the online path must never swallow it."""
+        empty = TrainedPolicy({})
+        params = small_params(noise_probability=0.0)
+        with pytest.raises(UnhandledStateError):
+            ClusterSimulator(
+                ClusterConfig(rng_discipline="machine", **params),
+                simple_faults(),
+                empty,
+                CATALOG,
+                RngStreams(5),
+            ).run()
+        with pytest.raises(UnhandledStateError):
+            FleetEngine(
+                ClusterConfig(backend="fleet", **params),
+                simple_faults(),
+                empty,
+                CATALOG,
+                RngStreams(5),
+            ).run()
+
+
+class TestBackendSelection:
+    def test_fleet_rejects_stream_discipline(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(backend="fleet", rng_discipline="stream")
+
+    def test_fleet_engine_rejects_stream_config(self):
+        config = ClusterConfig(
+            **small_params(), rng_discipline="stream"
+        )
+        with pytest.raises(ConfigurationError):
+            FleetEngine(
+                config, simple_faults(), UserDefinedPolicy(CATALOG), CATALOG
+            )
+
+    def test_factory_dispatches_identically(self):
+        params = small_params()
+        via_event = simulate_cluster(
+            ClusterConfig(rng_discipline="machine", **params),
+            simple_faults(),
+            UserDefinedPolicy(CATALOG),
+            CATALOG,
+            RngStreams(17),
+        )
+        via_fleet = simulate_cluster(
+            ClusterConfig(backend="fleet", **params),
+            simple_faults(),
+            UserDefinedPolicy(CATALOG),
+            CATALOG,
+            RngStreams(17),
+        )
+        assert via_event == via_fleet
+
+    def test_factory_falls_back_for_batch_unsafe_policy(self):
+        """batch_safe=False policies run sequentially, under the machine
+        discipline, and produce the trace the fleet defines."""
+
+        class StatefulPolicy(UserDefinedPolicy):
+            batch_safe = False
+
+        params = small_params(noise_probability=0.0)
+        log = simulate_cluster(
+            ClusterConfig(backend="fleet", **params),
+            simple_faults(),
+            StatefulPolicy(CATALOG),
+            CATALOG,
+            RngStreams(23),
+        )
+        reference = simulate_cluster(
+            ClusterConfig(rng_discipline="machine", **params),
+            simple_faults(),
+            UserDefinedPolicy(CATALOG),
+            CATALOG,
+            RngStreams(23),
+        )
+        assert log == reference
+
+    def test_fleet_engine_rejects_batch_unsafe_policy(self):
+        class StatefulPolicy(UserDefinedPolicy):
+            batch_safe = False
+
+        with pytest.raises(ConfigurationError):
+            FleetEngine(
+                ClusterConfig(backend="fleet", **small_params()),
+                simple_faults(),
+                StatefulPolicy(CATALOG),
+                CATALOG,
+            )
+
+
+class TestFullScale:
+    @pytest.mark.slow
+    def test_hundred_thousand_machine_fleet(self):
+        """The fleet engine holds 10^5 machines (the committed
+        BENCH_fleet_scale.json scale) and its aggregates stay
+        self-consistent at that size."""
+        machines = 100_000
+        config = ClusterConfig(
+            backend="fleet",
+            machine_count=machines,
+            duration=20 * DAY,
+            mean_time_between_failures=7.5 * DAY,
+            noise_probability=0.042,
+        )
+        engine = FleetEngine(
+            config,
+            simple_faults(),
+            UserDefinedPolicy(CATALOG),
+            CATALOG,
+            RngStreams(11),
+        )
+        result = engine.run()
+        assert result.process_count > machines  # ~2.7 recoveries/machine
+        assert np.array_equal(result.recovery_counts, result.failure_counts)
+        assert result.process_count == int(result.failure_counts.sum())
+        # Every process closes after its fault with positive downtime.
+        assert np.all(result.proc_success_times > result.proc_fault_times)
+        downtime = result.downtime_per_machine()
+        assert downtime.shape == (machines,)
+        assert np.all(downtime >= 0.0)
+        # Draw counters: every machine consumed at least its initial
+        # arrival draw, on the arrivals channel.
+        from repro.cluster.randomness import ARRIVALS
+
+        assert result.draw_counts.shape == (machines, 5)
+        assert np.all(result.draw_counts[:, ARRIVALS] >= 1)

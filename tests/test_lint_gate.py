@@ -135,3 +135,23 @@ class TestLintCli:
         )
         assert code == 1
         assert "not found" in capsys.readouterr().err
+
+
+class TestFleetModuleGate:
+    """The vectorized fleet engine must satisfy R1 and R4 on its own,
+    with no suppressions: flat-array code lives or dies by value-keyed
+    state and deterministic iteration order."""
+
+    FLEET = PACKAGE_DIR / "cluster" / "fleet.py"
+
+    def test_fleet_clean_under_r1_and_r4(self):
+        report = run_lint([self.FLEET], root=REPO_ROOT, rules=["R1", "R4"])
+        assert report.clean, "\n" + render_text(report)
+
+    def test_fleet_clean_under_all_rules(self):
+        report = run_lint([self.FLEET], root=REPO_ROOT)
+        assert report.clean, "\n" + render_text(report)
+
+    def test_fleet_has_zero_suppressions(self):
+        source = self.FLEET.read_text(encoding="utf-8")
+        assert collect_suppressions(source) == {}

@@ -113,3 +113,15 @@ class TestPreFixCopies:
     def test_rule_filter_leaves_prefix_copy_clean_without_r1(self):
         report = lint_fixture("prefix_bundle.py", rules=["R2", "R3"])
         assert report.clean
+
+
+class TestFleetArrayFixtures:
+    """Numpy-heavy R1/R4 twins shaped like the fleet engine's hot paths."""
+
+    def test_bad_fixture_lines(self):
+        report = lint_fixture("fleet_arrays_bad.py", rules=["R1", "R4"])
+        assert lines_for(report, "R1") == [16]
+        assert lines_for(report, "R4") == [24, 30]
+
+    def test_clean_fixture(self):
+        assert lint_fixture("fleet_arrays_good.py").clean

@@ -504,3 +504,69 @@ class TestClusterEquivalence:
         for trace in recorder.traces:
             assert trace.handled
             assert trace.succeeded
+
+
+class TestFleetClusterEquivalence(TestClusterEquivalence):
+    """The fleet backend joins the equivalence matrix.
+
+    Every contract pinned for the session-routed event loop above must
+    hold verbatim when the same scenario runs on the vectorized wave
+    engine: same log bytes, same decision-state chains, same telemetry.
+    Inheriting the reference tests re-runs them on the event backend
+    (the fixtures are shared); the additions compare the two backends
+    head to head under the machine RNG discipline.
+    """
+
+    def run_fleet(self, seed=5, telemetry=None, policy=None, **overrides):
+        from repro.cluster.fleet import FleetEngine
+
+        engine = FleetEngine(
+            self.config(backend="fleet", **overrides),
+            self.faults(),
+            policy if policy is not None else UserDefinedPolicy(CATALOG),
+            CATALOG,
+            RngStreams(seed),
+            episode_telemetry=telemetry,
+        )
+        return engine, engine.run().to_log()
+
+    @pytest.mark.parametrize("seed", [5, 9, 4])
+    @pytest.mark.parametrize("noise", [0.0, 0.3])
+    def test_fleet_log_matches_event_backend(self, seed, noise):
+        _sim, event_log = self.run(
+            seed=seed, rng_discipline="machine", noise_probability=noise
+        )
+        _eng, fleet_log = self.run_fleet(seed=seed, noise_probability=noise)
+        assert fleet_log == event_log
+
+    def test_fleet_decision_states_follow_markov_chain(self):
+        """The wave engine presents the same per-process state chains to
+        the policy as the sequential session loop."""
+        spy = _DecisionSpy(UserDefinedPolicy(CATALOG))
+        _engine, log = self.run_fleet(policy=spy)
+        expected = []
+        for process in log.to_processes():
+            tried = ()
+            for action in process.actions:
+                expected.append(
+                    RecoveryState(
+                        error_type=process.error_type,
+                        healthy=False,
+                        tried=tried,
+                    )
+                )
+                tried = tried + (action,)
+        assert sorted(
+            spy.states, key=lambda s: (s.error_type, s.tried)
+        ) == sorted(expected, key=lambda s: (s.error_type, s.tried))
+
+    def test_fleet_traces_match_event_traces(self):
+        event_recorder = EpisodeRecorder()
+        fleet_recorder = EpisodeRecorder()
+        _sim, event_log = self.run(
+            seed=4, rng_discipline="machine", telemetry=event_recorder
+        )
+        _eng, fleet_log = self.run_fleet(seed=4, telemetry=fleet_recorder)
+        assert fleet_log == event_log
+        assert fleet_recorder.traces == event_recorder.traces
+        assert set(t.origin for t in fleet_recorder.traces) == {"cluster"}
