@@ -2,17 +2,24 @@
 
 The offline Q-learning pipeline is only trustworthy if replaying the
 log is reproducible; this package walks the library's ASTs and enforces
-the six-rule determinism contract (R1-R6, see
-:mod:`repro.analysis.rules`) behind ``repro lint`` and the tier-1 gate
-test.
+the determinism contract behind ``repro lint`` and the tier-1 gate
+test.  Two rule families share one id space:
+
+* **R1-R6** (:mod:`repro.analysis.rules.syntactic`) — per-file
+  syntactic rules, always on;
+* **R7-R10** (:mod:`repro.analysis.dataflow`) — whole-program dataflow
+  rules that follow RNG state and iteration order across function and
+  module boundaries, enabled by ``repro lint --deep``.
 """
 
 from repro.analysis.baseline import Baseline, BaselineError
 from repro.analysis.engine import AnalysisError, LintReport, run_lint
+from repro.analysis.explain import render_explain
 from repro.analysis.findings import Finding
-from repro.analysis.reporting import render_json, render_text
+from repro.analysis.reporting import render_json, render_sarif, render_text
 from repro.analysis.rules import ALL_RULES, RULE_IDS, resolve_rules
 from repro.analysis.suppressions import Suppression, collect_suppressions
+from repro.analysis.telemetry import LintStats
 
 __all__ = [
     "ALL_RULES",
@@ -22,9 +29,12 @@ __all__ = [
     "BaselineError",
     "Finding",
     "LintReport",
+    "LintStats",
     "Suppression",
     "collect_suppressions",
+    "render_explain",
     "render_json",
+    "render_sarif",
     "render_text",
     "resolve_rules",
     "run_lint",

@@ -1,0 +1,53 @@
+"""Whole-program dataflow analysis under ``repro lint --deep``.
+
+The syntactic rules (R1-R6) see one file at a time; the bugs that
+actually threaten the RNG-channel discipline — a generator aliased
+across two call sites, a derived channel drawn inside iteration over an
+unordered collection three calls away, a ``Generator`` smuggled through
+a process-pool boundary — only show up when the analyzer can follow a
+value across function and module boundaries.  This package builds that
+view:
+
+* :mod:`~repro.analysis.dataflow.model` — the **project model**: every
+  module parsed once, a symbol table, the import graph and resolution
+  of dotted names through re-export chains, class hierarchy with MRO;
+* :mod:`~repro.analysis.dataflow.callgraph` — call-site resolution
+  (plain calls, ``self.method`` via MRO, ``Class()`` → ``__init__``)
+  and the project call graph;
+* :mod:`~repro.analysis.dataflow.taint` — the RNG/order taint domain
+  and the per-function abstract interpreter that records draw, retain,
+  pool-boundary, channel-get and output events;
+* :mod:`~repro.analysis.dataflow.summaries` — the interprocedural
+  fixpoint: per-function taint summaries, per-class attribute taint,
+  module-global taint;
+* :mod:`~repro.analysis.dataflow.rules_deep` — the interprocedural
+  rule family R7-R10 evaluated over the converged state.
+"""
+
+from repro.analysis.dataflow.callgraph import CallGraph, build_call_graph
+from repro.analysis.dataflow.model import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+    build_project,
+)
+from repro.analysis.dataflow.rules_deep import DEEP_RULES, run_deep_rules
+from repro.analysis.dataflow.summaries import AnalysisState, analyze_project
+from repro.analysis.dataflow.taint import Label, Site
+
+__all__ = [
+    "AnalysisState",
+    "CallGraph",
+    "ClassInfo",
+    "DEEP_RULES",
+    "FunctionInfo",
+    "Label",
+    "ModuleInfo",
+    "ProjectModel",
+    "Site",
+    "analyze_project",
+    "build_call_graph",
+    "build_project",
+    "run_deep_rules",
+]

@@ -1,0 +1,402 @@
+"""The interprocedural determinism rules R7-R10.
+
+Each rule is a :class:`~repro.analysis.rules.base.DeepRule` consuming
+the converged :class:`~repro.analysis.dataflow.summaries.AnalysisState`
+— never raw syntax — so every finding here is justified by an actual
+value flow across a function or module boundary:
+
+* **R7 rng-across-process-boundary** — a generator (or stream family)
+  reaches a process-pool submission or a pickle call, directly or via
+  a callee that forwards its parameter to one.
+* **R8 channel-aliasing** — one concrete generator ends up retained
+  under two or more names (two attributes, or an attribute plus a
+  retaining callee), or one named ``RngStreams`` channel is fetched
+  from two different functions.
+* **R9 draw-under-unordered-iteration** — a draw whose generator state
+  persists across iterations happens inside a loop (or comprehension)
+  over an unordered collection; deriving a per-item generator inside
+  the loop is recognized as the safe pattern and not flagged.
+* **R10 nondeterministic-order-into-output** — a value whose iteration
+  order is unpinned flows into an output sink (file write, JSON/pickle
+  serialization, the recovery-log writers), directly or through a
+  callee's parameter.
+
+Findings are emitted in sorted order and deduplicated, so a given file
+set always produces the identical report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.dataflow.model import ProjectModel
+from repro.analysis.dataflow.summaries import AnalysisState
+from repro.analysis.dataflow.taint import (
+    HAZARD_KINDS,
+    KIND_ORDER,
+    PERSISTENT_SITE_KINDS,
+    Label,
+    Region,
+    Site,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import DeepRule
+
+__all__ = [
+    "RngAcrossProcessBoundaryRule",
+    "ChannelAliasingRule",
+    "DrawUnderUnorderedIterationRule",
+    "NondeterministicOrderIntoOutputRule",
+    "DEEP_RULES",
+    "DEEP_RULE_IDS",
+    "run_deep_rules",
+]
+
+
+def _concrete(labels: FrozenSet[Label], *kinds: str) -> List[Label]:
+    wanted = frozenset(kinds)
+    return sorted(
+        label for label in labels if label.kind in wanted
+    )
+
+
+def _emit(
+    findings: Set[Finding],
+    project: ProjectModel,
+    module: str,
+    line: int,
+    column: int,
+    rule_id: str,
+    message: str,
+    suggestion: str,
+) -> None:
+    findings.add(
+        Finding(
+            path=project.display_path(module),
+            line=line,
+            column=column,
+            rule=rule_id,
+            message=message,
+            suggestion=suggestion,
+        )
+    )
+
+
+class RngAcrossProcessBoundaryRule(DeepRule):
+    rule_id = "R7"
+    title = "RNG state crosses a process or serialization boundary"
+    rationale = (
+        "A Generator shipped into a worker process or a pickle forks "
+        "the stream: the copy replays the parent's state, and which "
+        "draws land where depends on pool scheduling. Workers must "
+        "rebuild their generator from plain data (a derived seed or a "
+        "channel name)."
+    )
+    bad_example = (
+        "rng = make_rng(seed)\n"
+        "with ProcessPoolExecutor() as pool:\n"
+        "    pool.submit(run_episode, rng)  # generator is pickled\n"
+    )
+    good_example = (
+        "with ProcessPoolExecutor() as pool:\n"
+        "    pool.submit(run_episode, derive_seed(seed, 'worker', 0))\n"
+        "# in the worker: rng = make_rng(worker_seed)\n"
+    )
+
+    def check_project(
+        self, project: ProjectModel, state: AnalysisState
+    ) -> List[Finding]:
+        findings: Set[Finding] = set()
+        for qualname in sorted(state.facts):
+            facts = state.facts[qualname]
+            for event in facts.pools:
+                for label in _concrete(event.labels, *HAZARD_KINDS):
+                    what = (
+                        "RngStreams family"
+                        if label.kind == "streams"
+                        else "generator"
+                    )
+                    _emit(
+                        findings,
+                        project,
+                        facts.module,
+                        event.line,
+                        event.col,
+                        self.rule_id,
+                        (
+                            f"{what} created as {label.site.detail} "
+                            f"({label.site.module}:{label.site.line}) "
+                            "crosses a process/serialization boundary "
+                            f"via {event.desc}"
+                        ),
+                        (
+                            "ship plain data (a derived seed or channel "
+                            "name) across the boundary and rebuild the "
+                            "generator in the worker with make_rng/"
+                            "derive_rng"
+                        ),
+                    )
+        return sorted(findings)
+
+
+class ChannelAliasingRule(DeepRule):
+    rule_id = "R8"
+    title = "One RNG stream reachable under multiple names"
+    rationale = (
+        "When two attributes, globals or callees hold the same "
+        "Generator (or two functions fetch the same named channel), "
+        "draws through one name silently advance the other: the "
+        "consumption order — and therefore every downstream value — "
+        "depends on call interleaving instead of on the channel "
+        "discipline."
+    )
+    bad_example = (
+        "rng = make_rng(seed)\n"
+        "self.policy_rng = rng\n"
+        "self.noise_rng = rng  # same stream behind two names\n"
+    )
+    good_example = (
+        "self.policy_rng = derive_rng(seed, 'policy')\n"
+        "self.noise_rng = derive_rng(seed, 'noise')\n"
+    )
+
+    def check_project(
+        self, project: ProjectModel, state: AnalysisState
+    ) -> List[Finding]:
+        findings: Set[Finding] = set()
+        self._check_retention_aliasing(project, state, findings)
+        self._check_channel_name_aliasing(project, state, findings)
+        return sorted(findings)
+
+    def _check_retention_aliasing(
+        self,
+        project: ProjectModel,
+        state: AnalysisState,
+        findings: Set[Finding],
+    ) -> None:
+        slots_by_site: Dict[Site, Set[str]] = {}
+        anchor: Dict[Site, Tuple[str, int, int]] = {}
+        for qualname in sorted(state.facts):
+            facts = state.facts[qualname]
+            for event in facts.retains:
+                for label in _concrete(event.labels, *HAZARD_KINDS):
+                    site = label.site
+                    slots_by_site.setdefault(site, set()).add(
+                        event.slot
+                    )
+                    anchor.setdefault(
+                        site, (facts.module, event.line, event.col)
+                    )
+        for site in sorted(slots_by_site):
+            slots = sorted(slots_by_site[site])
+            if len(slots) < 2:
+                continue
+            module, line, col = anchor[site]
+            _emit(
+                findings,
+                project,
+                site.module,
+                site.line,
+                site.col,
+                self.rule_id,
+                (
+                    f"generator created as {site.detail} is retained "
+                    f"under {len(slots)} names: {', '.join(slots)} — "
+                    "one RNG stream aliased behind multiple slots"
+                ),
+                (
+                    "derive one generator per consumer "
+                    "(derive_rng(seed, name) or a dedicated "
+                    "RngStreams channel) instead of sharing one object"
+                ),
+            )
+
+    def _check_channel_name_aliasing(
+        self,
+        project: ProjectModel,
+        state: AnalysisState,
+        findings: Set[Finding],
+    ) -> None:
+        consumers: Dict[str, Dict[str, Tuple[int, int]]] = {}
+        for qualname in sorted(state.facts):
+            facts = state.facts[qualname]
+            for event in facts.channels:
+                if event.name is None:
+                    continue
+                consumers.setdefault(event.name, {}).setdefault(
+                    qualname, (event.line, event.col)
+                )
+        for name in sorted(consumers):
+            holders = consumers[name]
+            if len(holders) < 2:
+                continue
+            names = ", ".join(sorted(holders))
+            for qualname in sorted(holders):
+                line, col = holders[qualname]
+                facts = state.facts[qualname]
+                _emit(
+                    findings,
+                    project,
+                    facts.module,
+                    line,
+                    col,
+                    self.rule_id,
+                    (
+                        f"RNG channel '{name}' is consumed from "
+                        f"{len(holders)} functions ({names}); the "
+                        "shared stream's draw order depends on call "
+                        "interleaving"
+                    ),
+                    (
+                        "give each consumer its own channel name, or "
+                        "fetch the channel once and pass the generator "
+                        "explicitly along the call path"
+                    ),
+                )
+
+
+class DrawUnderUnorderedIterationRule(DeepRule):
+    rule_id = "R9"
+    title = "Draw from persistent RNG state under unordered iteration"
+    rationale = (
+        "Inside a loop over a set or directory listing, each draw from "
+        "a generator that outlives the iteration consumes stream state "
+        "in iteration order — which is unpinned — so every value drawn "
+        "there (and after the loop) depends on set/listing order. "
+        "Deriving a fresh per-item generator inside the loop is safe "
+        "and is not flagged."
+    )
+    bad_example = (
+        "rng = make_rng(seed)\n"
+        "for process in platform.process_set:  # a set\n"
+        "    inject_error(process, rng)  # draw order = set order\n"
+    )
+    good_example = (
+        "for process in sorted(platform.process_set):\n"
+        "    inject_error(process, derive_rng(seed, process.name))\n"
+    )
+
+    @staticmethod
+    def _persists_across(label: Label, region: Region) -> bool:
+        if label.site.kind in PERSISTENT_SITE_KINDS:
+            return True
+        return not region.contains_site(label.site)
+
+    def check_project(
+        self, project: ProjectModel, state: AnalysisState
+    ) -> List[Finding]:
+        findings: Set[Finding] = set()
+        for qualname in sorted(state.facts):
+            facts = state.facts[qualname]
+            for event in facts.draws:
+                if event.region is None:
+                    continue
+                persistent = [
+                    label
+                    for label in sorted(event.labels)
+                    if self._persists_across(label, event.region)
+                ]
+                if not persistent:
+                    continue
+                label = persistent[0]
+                _emit(
+                    findings,
+                    project,
+                    facts.module,
+                    event.line,
+                    event.col,
+                    self.rule_id,
+                    (
+                        f"RNG draw ({event.desc}) from persistent "
+                        f"state ({label.site.detail}) under iteration "
+                        f"over an unordered collection "
+                        f"({event.region.desc}); draw order follows "
+                        "the unpinned iteration order"
+                    ),
+                    (
+                        "sort the iterable, or derive a per-item "
+                        "generator inside the loop "
+                        "(derive_rng(seed, item_key))"
+                    ),
+                )
+        return sorted(findings)
+
+
+class NondeterministicOrderIntoOutputRule(DeepRule):
+    rule_id = "R10"
+    title = "Unordered iteration order flows into an output artifact"
+    rationale = (
+        "Serialized artifacts (logs, JSON, pickles, saved policies) "
+        "are compared byte-for-byte by the repro harness; writing a "
+        "set-ordered or listing-ordered value bakes the interpreter's "
+        "hash ordering into the artifact and two identical runs stop "
+        "diffing clean."
+    )
+    bad_example = (
+        "names = {e.name for e in episodes}\n"
+        "log.write(json.dumps(list(names)))  # set order into a file\n"
+    )
+    good_example = (
+        "names = {e.name for e in episodes}\n"
+        "log.write(json.dumps(sorted(names)))\n"
+    )
+
+    def check_project(
+        self, project: ProjectModel, state: AnalysisState
+    ) -> List[Finding]:
+        findings: Set[Finding] = set()
+        for qualname in sorted(state.facts):
+            facts = state.facts[qualname]
+            for event in facts.outputs:
+                ordered = _concrete(event.labels, KIND_ORDER)
+                if not ordered:
+                    continue
+                label = ordered[0]
+                _emit(
+                    findings,
+                    project,
+                    facts.module,
+                    event.line,
+                    event.col,
+                    self.rule_id,
+                    (
+                        "value with unpinned iteration order "
+                        f"({label.site.detail} at "
+                        f"{label.site.module}:{label.site.line}) "
+                        f"flows into output sink {event.sink}"
+                    ),
+                    (
+                        "sort before serializing (sorted(...)) so the "
+                        "artifact is byte-stable across runs"
+                    ),
+                )
+        return sorted(findings)
+
+
+DEEP_RULES: Tuple[type, ...] = (
+    RngAcrossProcessBoundaryRule,
+    ChannelAliasingRule,
+    DrawUnderUnorderedIterationRule,
+    NondeterministicOrderIntoOutputRule,
+)
+
+DEEP_RULE_IDS: Tuple[str, ...] = tuple(
+    rule.rule_id for rule in DEEP_RULES
+)
+
+
+def run_deep_rules(
+    project: ProjectModel,
+    state: AnalysisState,
+    rules: Optional[Sequence[DeepRule]] = None,
+) -> List[Finding]:
+    """Evaluate deep rule instances over a converged analysis state."""
+    active = (
+        list(rules)
+        if rules is not None
+        else [rule() for rule in DEEP_RULES]
+    )
+    findings: List[Finding] = []
+    for rule in active:
+        findings.extend(rule.check_project(project, state))
+    return sorted(findings)

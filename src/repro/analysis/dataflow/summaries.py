@@ -1,0 +1,134 @@
+"""The interprocedural fixpoint over per-function taint summaries.
+
+:func:`analyze_project` repeatedly re-interprets every function (see
+:mod:`~repro.analysis.dataflow.taint`) against the current
+:class:`AnalysisState` until nothing grows:
+
+* **summaries** — per-function :class:`~repro.analysis.dataflow.taint.Summary`
+  (what flows out through returns, which params are drawn from /
+  retained / shipped to pools / written to outputs, whether the body
+  draws from persistent RNG state);
+* **class_attrs** — per-class attribute taint, merged over every
+  ``self.attr = ...`` (and ``obj.attr = ...`` on instance-typed
+  receivers) in any method;
+* **module_globals** — taint of module-level assignments;
+* **instantiations** — for each function parameter, the union of
+  labels callers actually pass, which lets the interpreter resolve a
+  parameter's *runtime* kind (``streams.get`` on a parameter named
+  ``streams``) without context-sensitive cloning.
+
+All four tables only ever grow and the label universe is finite (one
+label per source site, parameter and class), so the iteration is a
+monotone fixpoint; ``_MAX_ITERATIONS`` is a belt-and-braces bound, not
+the expected exit path.  Functions are processed in sorted qualname
+order and every table keeps sorted iteration, so the converged state —
+and therefore every finding derived from it — is deterministic for a
+given file set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet
+
+from repro.analysis.dataflow.callgraph import CallResolver
+from repro.analysis.dataflow.model import ProjectModel
+from repro.analysis.dataflow.taint import (
+    FunctionFacts,
+    Label,
+    Summary,
+    analyze_function,
+    analyze_module_globals,
+)
+
+__all__ = ["AnalysisState", "analyze_project"]
+
+_MAX_ITERATIONS = 12
+_EMPTY: FrozenSet[Label] = frozenset()
+
+
+@dataclass
+class AnalysisState:
+    """The converging whole-program view the interpreter reads from."""
+
+    #: function qualname -> its taint summary
+    summaries: Dict[str, Summary] = field(default_factory=dict)
+    #: class qualname -> attr name -> labels ever stored there
+    class_attrs: Dict[str, Dict[str, FrozenSet[Label]]] = field(
+        default_factory=dict
+    )
+    #: module name -> global name -> labels
+    module_globals: Dict[str, Dict[str, FrozenSet[Label]]] = field(
+        default_factory=dict
+    )
+    #: function qualname -> param index -> labels callers pass
+    instantiations: Dict[str, Dict[int, FrozenSet[Label]]] = field(
+        default_factory=dict
+    )
+    #: function qualname -> facts from the final interpretation pass
+    facts: Dict[str, FunctionFacts] = field(default_factory=dict)
+    #: iterations the fixpoint actually took (for ``--stats``)
+    iterations: int = 0
+
+    def _snapshot(self):
+        return (
+            dict(self.summaries),
+            {k: dict(v) for k, v in self.class_attrs.items()},
+            {k: dict(v) for k, v in self.module_globals.items()},
+            {k: dict(v) for k, v in self.instantiations.items()},
+        )
+
+    def _merge_labels(
+        self,
+        table: Dict[str, Dict],
+        outer: str,
+        inner,
+        labels: FrozenSet[Label],
+    ) -> None:
+        slot = table.setdefault(outer, {})
+        slot[inner] = slot.get(inner, _EMPTY) | labels
+
+
+def analyze_project(project: ProjectModel) -> AnalysisState:
+    """Run the whole-program taint fixpoint and return its state."""
+    state = AnalysisState()
+    resolver = CallResolver(project)
+    module_names = sorted(project.modules)
+    function_names = sorted(project.functions)
+
+    for iteration in range(_MAX_ITERATIONS):
+        state.iterations = iteration + 1
+        before = state._snapshot()
+
+        for module_name in module_names:
+            fresh = analyze_module_globals(
+                project, state, resolver, module_name
+            )
+            for name, labels in fresh.items():
+                state._merge_labels(
+                    state.module_globals, module_name, name, labels
+                )
+
+        for qualname in function_names:
+            function = project.functions[qualname]
+            facts = analyze_function(project, state, resolver, function)
+            state.facts[qualname] = facts
+            state.summaries[qualname] = facts.to_summary(function)
+            for store in facts.attr_stores:
+                state._merge_labels(
+                    state.class_attrs,
+                    store.class_qualname,
+                    store.attr,
+                    store.labels,
+                )
+            for flow in facts.arg_flows:
+                state._merge_labels(
+                    state.instantiations,
+                    flow.callee,
+                    flow.index,
+                    flow.labels,
+                )
+
+        if state._snapshot() == before:
+            break
+    return state

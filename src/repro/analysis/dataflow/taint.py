@@ -1,0 +1,1191 @@
+"""The RNG/order taint domain and the per-function abstract interpreter.
+
+The lattice is a powerset of :class:`Label` values.  A label is one of
+
+* ``rng`` — a ``numpy.random.Generator`` (``derived=True`` when it came
+  from a named-channel derivation: ``derive_rng`` or ``RngStreams.get``);
+* ``streams`` — an :class:`repro.util.rng.RngStreams` family;
+* ``order`` — a value whose *content or ordering* depends on unpinned
+  iteration order (a set, ``os.listdir`` output, or anything computed
+  from them without an intervening ``sorted``);
+* ``instance`` — a value known to be an instance of a scanned class
+  (``site.detail`` holds the class qualname); carries no hazard itself
+  but lets method calls on it resolve through the class hierarchy;
+* ``param`` — the symbolic taint of the enclosing function's *i*-th
+  parameter (``index``), the currency of the interprocedural summaries.
+
+Each label pins the :class:`Site` where the value entered the program.
+``site.kind`` distinguishes *fresh* creations (``"call"``) from lookups
+of persistent state (``"channel"`` for ``RngStreams.get``, ``"attr"``
+for class attributes, ``"global"`` for module globals, ``"param"``):
+rule R9 only fires on draws whose generator state survives across loop
+iterations, so a generator derived *inside* the unordered loop body is
+exempt while any persistent one is not.
+
+:func:`analyze_function` interprets one function flow-insensitively
+(statements in order, env re-walked by the caller's fixpoint until
+stable) and records the events the deep rules consume: draws, retains,
+pool-boundary crossings, channel gets, output-sink writes, argument
+flows and returned labels.  Everything the interpreter cannot resolve
+evaluates to the empty label set — the pass under-approximates aliasing
+through untracked containers and over-approximates nothing, so a missed
+edge can hide a finding but never invent one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.analysis.dataflow.callgraph import CallResolver, CallTarget
+from repro.analysis.dataflow.model import FunctionInfo, ProjectModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataflow.summaries import AnalysisState
+
+__all__ = [
+    "KIND_RNG",
+    "KIND_STREAMS",
+    "KIND_ORDER",
+    "KIND_INSTANCE",
+    "KIND_PARAM",
+    "Site",
+    "Label",
+    "Region",
+    "Summary",
+    "DrawEvent",
+    "PoolEvent",
+    "RetainEvent",
+    "ChannelEvent",
+    "OutputEvent",
+    "AttrStore",
+    "ArgFlow",
+    "FunctionFacts",
+    "analyze_function",
+    "analyze_module_globals",
+]
+
+KIND_RNG = "rng"
+KIND_STREAMS = "streams"
+KIND_ORDER = "order"
+KIND_INSTANCE = "instance"
+KIND_PARAM = "param"
+
+HAZARD_KINDS = frozenset({KIND_RNG, KIND_STREAMS})
+
+#: Creation-site kinds whose state persists across calls/iterations.
+PERSISTENT_SITE_KINDS = frozenset({"channel", "attr", "global", "param"})
+
+_RNG_FACTORY_BASENAMES = {
+    # basename -> derived-channel flag
+    "make_rng": False,
+    "default_rng": False,
+    "derive_rng": True,
+}
+_STREAMS_CLASS_BASENAME = "RngStreams"
+_UNORDERED_CALL_QUALNAMES = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+_UNORDERED_METHOD_ATTRS = frozenset({"iterdir", "glob", "rglob"})
+_ORDER_SANITIZERS = frozenset({"sorted"})
+_ORDER_AGGREGATES = frozenset(
+    {"len", "sum", "min", "max", "any", "all", "abs"}
+)
+_SEQUENCE_BUILTINS = frozenset(
+    {"list", "tuple", "iter", "enumerate", "reversed", "filter", "zip"}
+)
+_SET_BUILTINS = frozenset({"set", "frozenset"})
+_CONTAINER_MUTATORS = frozenset(
+    {"append", "add", "extend", "update", "insert", "setdefault"}
+)
+_POOL_METHOD_ATTRS = frozenset(
+    {
+        "submit",
+        "map_async",
+        "starmap",
+        "starmap_async",
+        "apply",
+        "apply_async",
+        "imap",
+        "imap_unordered",
+    }
+)
+_POOL_CONSTRUCTOR_BASENAMES = frozenset(
+    {"ProcessPoolExecutor", "Pool", "Process"}
+)
+_PICKLE_QUALNAMES = frozenset(
+    {"pickle.dump", "pickle.dumps", "dill.dump", "dill.dumps"}
+)
+_OUTPUT_QUALNAMES = frozenset(
+    {"json.dump", "json.dumps"} | _PICKLE_QUALNAMES
+)
+_OUTPUT_BASENAMES = frozenset(
+    {
+        "write_log_jsonl",
+        "write_log_text",
+        "save_policy",
+        "save_qtable",
+    }
+)
+_OUTPUT_METHOD_ATTRS = frozenset({"write", "writelines", "write_text"})
+_RNG_NON_DRAW_ATTRS = frozenset({"spawn"})
+
+
+@dataclass(frozen=True, order=True)
+class Site:
+    """Where a tainted value entered the program."""
+
+    module: str
+    line: int
+    col: int
+    kind: str  # "call" | "channel" | "attr" | "global" | "param"
+    detail: str
+
+    def describe(self) -> str:
+        return f"{self.detail} ({self.module}:{self.line})"
+
+
+@dataclass(frozen=True, order=True)
+class Label:
+    kind: str
+    derived: bool
+    site: Site
+    index: int = -1  # parameter index for KIND_PARAM labels
+
+    @property
+    def persistent(self) -> bool:
+        return self.site.kind in PERSISTENT_SITE_KINDS
+
+
+@dataclass(frozen=True, order=True)
+class Region:
+    """An enclosing iteration whose order is unpinned."""
+
+    module: str
+    line: int
+    start: int
+    end: int
+    desc: str
+
+    def contains_site(self, site: Site) -> bool:
+        return (
+            site.module == self.module
+            and self.start <= site.line <= self.end
+        )
+
+
+@dataclass(frozen=True)
+class Summary:
+    """What a function does with taint, abstracted over its parameters."""
+
+    returns_fresh: FrozenSet[Label] = frozenset()
+    returns_params: FrozenSet[int] = frozenset()
+    draws_params: FrozenSet[int] = frozenset()
+    draws_internal: bool = False
+    retains_params: FrozenSet[int] = frozenset()
+    pool_params: FrozenSet[int] = frozenset()
+    output_params: FrozenSet[int] = frozenset()
+
+
+EMPTY_SUMMARY = Summary()
+_EMPTY: FrozenSet[Label] = frozenset()
+
+
+@dataclass(frozen=True)
+class DrawEvent:
+    line: int
+    col: int
+    desc: str
+    labels: FrozenSet[Label]
+    region: Optional[Region] = None
+
+
+@dataclass(frozen=True)
+class PoolEvent:
+    line: int
+    col: int
+    desc: str
+    labels: FrozenSet[Label]
+
+
+@dataclass(frozen=True)
+class RetainEvent:
+    line: int
+    col: int
+    slot: str
+    labels: FrozenSet[Label]
+
+
+@dataclass(frozen=True)
+class ChannelEvent:
+    line: int
+    col: int
+    name: Optional[str]
+
+
+@dataclass(frozen=True)
+class OutputEvent:
+    line: int
+    col: int
+    sink: str
+    labels: FrozenSet[Label]
+
+
+@dataclass(frozen=True)
+class AttrStore:
+    class_qualname: str
+    attr: str
+    labels: FrozenSet[Label]
+
+
+@dataclass(frozen=True)
+class ArgFlow:
+    callee: str
+    index: int
+    labels: FrozenSet[Label]
+
+
+@dataclass
+class FunctionFacts:
+    """Everything one interpretation pass observed in one function."""
+
+    qualname: str
+    module: str
+    draws: List[DrawEvent] = field(default_factory=list)
+    pools: List[PoolEvent] = field(default_factory=list)
+    retains: List[RetainEvent] = field(default_factory=list)
+    channels: List[ChannelEvent] = field(default_factory=list)
+    outputs: List[OutputEvent] = field(default_factory=list)
+    attr_stores: List[AttrStore] = field(default_factory=list)
+    arg_flows: List[ArgFlow] = field(default_factory=list)
+    return_labels: FrozenSet[Label] = frozenset()
+
+    def to_summary(self, func: FunctionInfo) -> Summary:
+        # A param label belongs to *this* function only if its site
+        # names this function; labels read out of class attributes can
+        # carry some other function's params (e.g. __init__'s), which
+        # count as persistent external state here, not as our params.
+        def is_own_param(label: Label) -> bool:
+            return (
+                label.kind == KIND_PARAM
+                and label.site.module == func.qualname
+            )
+
+        def param_indices(events_labels: Sequence[FrozenSet[Label]]):
+            return frozenset(
+                label.index
+                for labels in events_labels
+                for label in labels
+                if is_own_param(label)
+            )
+
+        draws_internal = False
+        for event in self.draws:
+            for label in event.labels:
+                if is_own_param(label):
+                    continue
+                if label.persistent or not (
+                    label.site.module == func.module
+                    and func.lineno <= label.site.line <= func.end_lineno
+                ):
+                    draws_internal = True
+        return Summary(
+            returns_fresh=frozenset(
+                label
+                for label in self.return_labels
+                if not is_own_param(label)
+            ),
+            returns_params=frozenset(
+                label.index
+                for label in self.return_labels
+                if is_own_param(label)
+            ),
+            draws_params=param_indices([e.labels for e in self.draws]),
+            draws_internal=draws_internal,
+            retains_params=param_indices([e.labels for e in self.retains]),
+            pool_params=param_indices([e.labels for e in self.pools]),
+            output_params=param_indices([e.labels for e in self.outputs]),
+        )
+
+
+def _only(labels: FrozenSet[Label], *kinds: str) -> FrozenSet[Label]:
+    wanted = frozenset(kinds)
+    return frozenset(
+        label for label in labels if label.kind in wanted
+    )
+
+
+def _drop_order(labels: FrozenSet[Label]) -> FrozenSet[Label]:
+    return frozenset(
+        label for label in labels if label.kind != KIND_ORDER
+    )
+
+
+class _Interpreter:
+    """One flow-insensitive pass over one function body."""
+
+    _MAX_EXPANSION_DEPTH = 8
+
+    def __init__(
+        self,
+        project: ProjectModel,
+        state: "AnalysisState",
+        resolver: CallResolver,
+        func: FunctionInfo,
+        env: Dict[str, FrozenSet[Label]],
+    ) -> None:
+        self.project = project
+        self.state = state
+        self.resolver = resolver
+        self.func = func
+        self.env = env
+        self.facts = FunctionFacts(
+            qualname=func.qualname, module=func.module
+        )
+        self.regions: List[Region] = []
+
+    # -- env ------------------------------------------------------------
+    def read(self, name: str) -> FrozenSet[Label]:
+        labels = self.env.get(name)
+        if labels:
+            return labels
+        own = self.state.module_globals.get(
+            self.func.module, {}
+        ).get(name, _EMPTY)
+        if own:
+            return own
+        # ``from other import SHARED`` — follow the import binding to
+        # the defining module's global table.
+        info = self.project.modules.get(self.func.module)
+        if info is not None and name in info.imports:
+            qualified = self.project.canonical(info.imports[name])
+            if "." in qualified:
+                owner, attr = qualified.rsplit(".", 1)
+                return self.state.module_globals.get(owner, {}).get(
+                    attr, _EMPTY
+                )
+        return _EMPTY
+
+    def bind(self, name: str, labels: FrozenSet[Label]) -> None:
+        if labels:
+            self.env[name] = self.env.get(name, _EMPTY) | labels
+
+    # -- label expansion (param -> caller-provided taint) ---------------
+    def expand(
+        self, labels: FrozenSet[Label], _depth: int = 0
+    ) -> FrozenSet[Label]:
+        """Union ``labels`` with what callers actually pass for params."""
+        if _depth >= self._MAX_EXPANSION_DEPTH:
+            return labels
+        result = set(labels)
+        for label in labels:
+            if label.kind != KIND_PARAM:
+                continue
+            owner = label.site.module  # qualname of the owning function
+            flowing = self.state.instantiations.get(owner, {}).get(
+                label.index, _EMPTY
+            )
+            result |= self.expand(flowing, _depth + 1)
+        return frozenset(result)
+
+    def _kinds(self, labels: FrozenSet[Label]) -> FrozenSet[str]:
+        return frozenset(
+            label.kind for label in self.expand(labels)
+        )
+
+    # -- regions --------------------------------------------------------
+    @property
+    def region(self) -> Optional[Region]:
+        return self.regions[-1] if self.regions else None
+
+    def _push_region_if_unordered(
+        self, iter_labels: FrozenSet[Label], node: ast.AST
+    ) -> bool:
+        order_labels = sorted(
+            _only(self.expand(iter_labels), KIND_ORDER)
+        )
+        if not order_labels:
+            return False
+        origin = order_labels[0].site
+        self.regions.append(
+            Region(
+                module=self.func.module,
+                line=getattr(node, "lineno", 0),
+                start=getattr(node, "lineno", 0),
+                end=getattr(node, "end_lineno", None)
+                or getattr(node, "lineno", 0),
+                desc=origin.describe(),
+            )
+        )
+        return True
+
+    # -- statements -----------------------------------------------------
+    def exec_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = stmt.value
+            labels = self.eval(value) if value is not None else _EMPTY
+            targets = (
+                stmt.targets
+                if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            for target in targets:
+                self.assign(target, labels)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.facts.return_labels = (
+                    self.facts.return_labels | self.eval(stmt.value)
+                )
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.For):
+            iter_labels = self.eval(stmt.iter)
+            pushed = self._push_region_if_unordered(
+                iter_labels, stmt
+            )
+            self.assign(stmt.target, iter_labels)
+            self.exec_body(stmt.body)
+            if pushed:
+                self.regions.pop()
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            if isinstance(stmt.test, ast.expr):
+                self.eval(stmt.test)
+            self.exec_body(stmt.body)
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self.exec_body(stmt.body)
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                labels = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, labels)
+            self.exec_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.exec_body(stmt.body)
+            for handler in stmt.handlers:
+                self.exec_body(handler.body)
+            self.exec_body(stmt.orelse)
+            self.exec_body(stmt.finalbody)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            pass  # nested defs are out of scope for the summaries
+        elif isinstance(stmt, ast.ClassDef):
+            pass
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+        # pass/break/continue/import/global/nonlocal/delete: no taint
+
+    def assign(self, target: ast.expr, labels: FrozenSet[Label]) -> None:
+        if isinstance(target, ast.Name):
+            self.bind(target.id, labels)
+        elif isinstance(target, ast.Attribute):
+            receiver = self.eval(target.value)
+            self._store_attr(target, receiver, labels)
+        elif isinstance(target, ast.Subscript):
+            # Storing into a container taints the container.
+            self.assign(target.value, labels)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self.assign(element, labels)
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, labels)
+
+    def _store_attr(
+        self,
+        target: ast.Attribute,
+        receiver: FrozenSet[Label],
+        labels: FrozenSet[Label],
+    ) -> None:
+        if not labels:
+            return
+        for inst in sorted(_only(self.expand(receiver), KIND_INSTANCE)):
+            class_qualname = inst.site.detail
+            self.facts.attr_stores.append(
+                AttrStore(
+                    class_qualname=class_qualname,
+                    attr=target.attr,
+                    labels=labels,
+                )
+            )
+            hazards = _only(
+                labels, KIND_RNG, KIND_STREAMS, KIND_PARAM
+            )
+            if hazards:
+                self.facts.retains.append(
+                    RetainEvent(
+                        line=target.lineno,
+                        col=target.col_offset,
+                        slot=f"{class_qualname}.{target.attr}",
+                        labels=hazards,
+                    )
+                )
+
+    # -- expressions ----------------------------------------------------
+    def eval(self, node: ast.expr) -> FrozenSet[Label]:
+        method = getattr(
+            self, f"_eval_{type(node).__name__}", None
+        )
+        if method is not None:
+            return method(node)
+        # Default: union of child expression labels.
+        result: FrozenSet[Label] = _EMPTY
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                result = result | self.eval(child)
+        return result
+
+    def _eval_Name(self, node: ast.Name) -> FrozenSet[Label]:
+        return self.read(node.id)
+
+    def _eval_Constant(self, node: ast.Constant) -> FrozenSet[Label]:
+        return _EMPTY
+
+    def _eval_Lambda(self, node: ast.Lambda) -> FrozenSet[Label]:
+        return _EMPTY
+
+    def _eval_Attribute(self, node: ast.Attribute) -> FrozenSet[Label]:
+        receiver = self.eval(node.value)
+        result: set = set()
+        for inst in sorted(
+            _only(self.expand(receiver), KIND_INSTANCE)
+        ):
+            attrs = self.state.class_attrs.get(inst.site.detail, {})
+            result |= attrs.get(node.attr, _EMPTY)
+        if result:
+            return frozenset(result)
+        # Cross-module global read: other_mod.SHARED_RNG.
+        qualified = self.resolver.resolve_name(self.func, node)
+        if qualified is not None and "." in qualified:
+            owner, attr = qualified.rsplit(".", 1)
+            return self.state.module_globals.get(owner, {}).get(
+                attr, _EMPTY
+            )
+        return _EMPTY
+
+    def _eval_IfExp(self, node: ast.IfExp) -> FrozenSet[Label]:
+        self.eval(node.test)
+        return self.eval(node.body) | self.eval(node.orelse)
+
+    def _eval_NamedExpr(self, node: ast.NamedExpr) -> FrozenSet[Label]:
+        labels = self.eval(node.value)
+        self.assign(node.target, labels)
+        return labels
+
+    def _eval_Set(self, node: ast.Set) -> FrozenSet[Label]:
+        labels: FrozenSet[Label] = frozenset(
+            {self._order_label(node, "set literal")}
+        )
+        for element in node.elts:
+            labels = labels | self.eval(element)
+        return labels
+
+    def _eval_Subscript(self, node: ast.Subscript) -> FrozenSet[Label]:
+        return self.eval(node.value) | self.eval(node.slice)
+
+    def _eval_Compare(self, node: ast.Compare) -> FrozenSet[Label]:
+        self.eval(node.left)
+        for comparator in node.comparators:
+            self.eval(comparator)
+        return _EMPTY  # membership/comparison results carry no taint
+
+    def _eval_JoinedStr(self, node: ast.JoinedStr) -> FrozenSet[Label]:
+        labels: FrozenSet[Label] = _EMPTY
+        for value in node.values:
+            if isinstance(value, ast.FormattedValue):
+                labels = labels | _only(
+                    self.eval(value.value), KIND_ORDER
+                )
+        return labels
+
+    def _eval_comprehension_common(
+        self, node: ast.expr, element_exprs: Sequence[ast.expr]
+    ) -> FrozenSet[Label]:
+        pushed = 0
+        iter_order: FrozenSet[Label] = _EMPTY
+        for generator in node.generators:  # type: ignore[attr-defined]
+            iter_labels = self.eval(generator.iter)
+            iter_order = iter_order | _only(
+                self.expand(iter_labels), KIND_ORDER
+            )
+            if self._push_region_if_unordered(iter_labels, node):
+                pushed += 1
+            self.assign(generator.target, iter_labels)
+            for condition in generator.ifs:
+                self.eval(condition)
+        labels: FrozenSet[Label] = iter_order
+        for element in element_exprs:
+            labels = labels | self.eval(element)
+        for _ in range(pushed):
+            self.regions.pop()
+        return labels
+
+    def _eval_ListComp(self, node: ast.ListComp) -> FrozenSet[Label]:
+        return self._eval_comprehension_common(node, [node.elt])
+
+    def _eval_GeneratorExp(
+        self, node: ast.GeneratorExp
+    ) -> FrozenSet[Label]:
+        return self._eval_comprehension_common(node, [node.elt])
+
+    def _eval_SetComp(self, node: ast.SetComp) -> FrozenSet[Label]:
+        labels = self._eval_comprehension_common(node, [node.elt])
+        return labels | frozenset(
+            {self._order_label(node, "set comprehension")}
+        )
+
+    def _eval_DictComp(self, node: ast.DictComp) -> FrozenSet[Label]:
+        return self._eval_comprehension_common(
+            node, [node.key, node.value]
+        )
+
+    # -- calls ----------------------------------------------------------
+    def _order_label(self, node: ast.AST, detail: str) -> Label:
+        return Label(
+            kind=KIND_ORDER,
+            derived=False,
+            site=Site(
+                module=self.func.module,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                kind="call",
+                detail=detail,
+            ),
+        )
+
+    def _rng_label(
+        self, node: ast.AST, detail: str, derived: bool, kind: str = "call"
+    ) -> Label:
+        return Label(
+            kind=KIND_RNG,
+            derived=derived,
+            site=Site(
+                module=self.func.module,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                kind=kind,
+                detail=detail,
+            ),
+        )
+
+    def _eval_Call(self, node: ast.Call) -> FrozenSet[Label]:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            handled = self._eval_method_call(node, func)
+            if handled is not None:
+                return handled
+        return self._eval_plain_call(node)
+
+    def _eval_method_call(
+        self, node: ast.Call, func: ast.Attribute
+    ) -> Optional[FrozenSet[Label]]:
+        """Receiver-taint dispatch; None means fall through."""
+        receiver = self.eval(func.value)
+        expanded = self.expand(receiver)
+        attr = func.attr
+        if _only(expanded, KIND_STREAMS):
+            if attr in ("get", "fresh"):
+                self._eval_args_for_effects(node)
+                name = None
+                if node.args and isinstance(
+                    node.args[0], ast.Constant
+                ) and isinstance(node.args[0].value, str):
+                    name = node.args[0].value
+                if attr == "get":
+                    self.facts.channels.append(
+                        ChannelEvent(
+                            line=node.lineno,
+                            col=node.col_offset,
+                            name=name,
+                        )
+                    )
+                site_kind = "channel" if attr == "get" else "call"
+                detail = f"streams.{attr}({name or '...'})"
+                return frozenset(
+                    {self._rng_label(node, detail, True, site_kind)}
+                )
+            return _EMPTY
+        if _only(expanded, KIND_RNG):
+            if attr in _RNG_NON_DRAW_ATTRS:
+                self._eval_args_for_effects(node)
+                return frozenset(
+                    {self._rng_label(node, f"rng.{attr}(...)", True)}
+                )
+            drawn = _only(receiver, KIND_RNG, KIND_PARAM)
+            self.facts.draws.append(
+                DrawEvent(
+                    line=node.lineno,
+                    col=node.col_offset,
+                    desc=f".{attr}() draw",
+                    labels=drawn,
+                    region=self.region,
+                )
+            )
+            self._eval_args_for_effects(node)
+            return _EMPTY
+        if attr in _UNORDERED_METHOD_ATTRS:
+            self._eval_args_for_effects(node)
+            return frozenset(
+                {self._order_label(node, f".{attr}() listing")}
+            )
+        if attr in _OUTPUT_METHOD_ATTRS:
+            self._record_output(node, f".{attr}(...)")
+            return _EMPTY
+        if attr == "join":
+            labels: FrozenSet[Label] = _EMPTY
+            for arg in node.args:
+                labels = labels | self.eval(arg)
+            return labels
+        if attr in _CONTAINER_MUTATORS:
+            labels = _EMPTY
+            for arg in list(node.args) + [
+                kw.value for kw in node.keywords
+            ]:
+                labels = labels | self.eval(arg)
+            if labels:
+                self.assign(func.value, labels)
+            return _EMPTY
+        if attr in _POOL_METHOD_ATTRS or (
+            attr == "map" and self._looks_like_pool(func.value)
+        ):
+            self._record_pool_args(node, f".{attr}(...) submission")
+            return _EMPTY
+        # Instance-typed receivers resolve through the class hierarchy.
+        instances = sorted(_only(expanded, KIND_INSTANCE))
+        if instances:
+            results: set = set()
+            for inst in instances[:3]:
+                method = self.project.resolve_method(
+                    inst.site.detail, attr
+                )
+                if method is not None:
+                    results |= self._apply_target(
+                        node,
+                        CallTarget(function=method, param_offset=1),
+                    )
+            return frozenset(results)
+        return None
+
+    def _looks_like_pool(self, receiver: ast.expr) -> bool:
+        """``.map`` is ambiguous; only treat it as a pool submission
+        when the receiver name suggests an executor/pool."""
+        name = None
+        if isinstance(receiver, ast.Name):
+            name = receiver.id
+        elif isinstance(receiver, ast.Attribute):
+            name = receiver.attr
+        return name is not None and (
+            "pool" in name.lower() or "executor" in name.lower()
+        )
+
+    def _eval_plain_call(self, node: ast.Call) -> FrozenSet[Label]:
+        qualified = self.resolver.resolve_name(self.func, node.func)
+        basename = None
+        if qualified is not None:
+            basename = qualified.rsplit(".", 1)[-1]
+        elif isinstance(node.func, ast.Name):
+            basename = node.func.id
+
+        if basename in _RNG_FACTORY_BASENAMES:
+            self._eval_args_for_effects(node)
+            return frozenset(
+                {
+                    self._rng_label(
+                        node,
+                        f"{basename}(...)",
+                        _RNG_FACTORY_BASENAMES[basename],
+                    )
+                }
+            )
+        if basename == _STREAMS_CLASS_BASENAME:
+            self._eval_args_for_effects(node)
+            return frozenset(
+                {
+                    Label(
+                        kind=KIND_STREAMS,
+                        derived=False,
+                        site=Site(
+                            module=self.func.module,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            kind="call",
+                            detail="RngStreams(...)",
+                        ),
+                    )
+                }
+            )
+        if (
+            qualified in _UNORDERED_CALL_QUALNAMES
+            or basename in _SET_BUILTINS
+        ):
+            labels: FrozenSet[Label] = frozenset(
+                {
+                    self._order_label(
+                        node, f"{basename or qualified}(...)"
+                    )
+                }
+            )
+            for arg in node.args:
+                labels = labels | self.eval(arg)
+            return labels
+        if basename in _ORDER_SANITIZERS:
+            labels = _EMPTY
+            for arg in node.args:
+                labels = labels | self.eval(arg)
+            self._eval_keywords_for_effects(node)
+            return _drop_order(labels)
+        if basename in _ORDER_AGGREGATES:
+            self._eval_args_for_effects(node)
+            return _EMPTY
+        if basename in _SEQUENCE_BUILTINS and not (
+            qualified and qualified in self.project.functions
+        ):
+            labels = _EMPTY
+            for arg in node.args:
+                labels = labels | self.eval(arg)
+            return labels
+        if (
+            qualified in _OUTPUT_QUALNAMES
+            or basename in _OUTPUT_BASENAMES
+            or basename == "print"
+        ):
+            self._record_output(
+                node, basename or qualified or "output"
+            )
+            return _EMPTY
+        if qualified in _PICKLE_QUALNAMES or (
+            basename in _POOL_CONSTRUCTOR_BASENAMES
+        ):
+            self._record_pool_args(
+                node, f"{basename or qualified}(...)"
+            )
+            return _EMPTY
+
+        target = self.resolver.resolve(self.func, node)
+        if target is not None:
+            return frozenset(self._apply_target(node, target))
+        # Unresolved call: evaluate arguments for their side effects
+        # (draw detection inside f(g(rng)) chains) and return nothing.
+        self._eval_args_for_effects(node)
+        return _EMPTY
+
+    def _eval_args_for_effects(self, node: ast.Call) -> None:
+        for arg in node.args:
+            value = (
+                arg.value if isinstance(arg, ast.Starred) else arg
+            )
+            self.eval(value)
+        self._eval_keywords_for_effects(node)
+
+    def _eval_keywords_for_effects(self, node: ast.Call) -> None:
+        for keyword in node.keywords:
+            self.eval(keyword.value)
+
+    def _record_output(self, node: ast.Call, sink: str) -> None:
+        for arg in list(node.args) + [
+            kw.value for kw in node.keywords
+        ]:
+            labels = self.eval(arg)
+            watched = _only(labels, KIND_ORDER, KIND_PARAM)
+            if watched:
+                self.facts.outputs.append(
+                    OutputEvent(
+                        line=getattr(arg, "lineno", node.lineno),
+                        col=getattr(
+                            arg, "col_offset", node.col_offset
+                        ),
+                        sink=sink,
+                        labels=watched,
+                    )
+                )
+
+    def _record_pool_args(self, node: ast.Call, desc: str) -> None:
+        def check(arg: ast.expr) -> None:
+            if isinstance(arg, (ast.Tuple, ast.List)):
+                for element in arg.elts:
+                    check(element)
+                return
+            labels = self.eval(arg)
+            hazards = _only(
+                labels, KIND_RNG, KIND_STREAMS, KIND_PARAM
+            )
+            if hazards:
+                self.facts.pools.append(
+                    PoolEvent(
+                        line=getattr(arg, "lineno", node.lineno),
+                        col=getattr(
+                            arg, "col_offset", node.col_offset
+                        ),
+                        desc=desc,
+                        labels=hazards,
+                    )
+                )
+
+        for arg in node.args:
+            check(arg)
+        for keyword in node.keywords:
+            check(keyword.value)
+
+    def _apply_target(
+        self, node: ast.Call, target: CallTarget
+    ) -> FrozenSet[Label]:
+        callee = target.function
+        summary = self.state.summaries.get(
+            callee.qualname, EMPTY_SUMMARY
+        )
+        # Each call site produces a *distinct* object, so fresh labels
+        # coming back out of the callee are re-sited here: two calls to
+        # one factory must not look like one aliased generator, and a
+        # factory call inside a loop body must count as per-iteration.
+        # Persistent sites (channel/attr/global/param) stay put — the
+        # callee is handing back shared state, not a new object.
+        result: set = set()
+        for label in summary.returns_fresh:
+            if label.site.kind == "call":
+                result.add(
+                    replace(
+                        label,
+                        site=Site(
+                            module=self.func.module,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            kind="call",
+                            detail=label.site.detail,
+                        ),
+                    )
+                )
+            else:
+                result.add(label)
+        if target.is_constructor and target.class_qualname is not None:
+            result.add(
+                Label(
+                    kind=KIND_INSTANCE,
+                    derived=False,
+                    site=Site(
+                        module=self.func.module,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        kind="call",
+                        detail=target.class_qualname,
+                    ),
+                )
+            )
+        for index, arg_node, labels in self._map_args(node, target):
+            if labels:
+                self.facts.arg_flows.append(
+                    ArgFlow(
+                        callee=callee.qualname,
+                        index=index,
+                        labels=labels,
+                    )
+                )
+            if index in summary.returns_params:
+                result |= labels
+            rng_like = _only(labels, KIND_RNG, KIND_PARAM)
+            if index in summary.draws_params and rng_like:
+                self.facts.draws.append(
+                    DrawEvent(
+                        line=arg_node.lineno,
+                        col=arg_node.col_offset,
+                        desc=(
+                            f"passed to {callee.qualname}, "
+                            "which draws from it"
+                        ),
+                        labels=rng_like,
+                        region=self.region,
+                    )
+                )
+            hazards = _only(
+                labels, KIND_RNG, KIND_STREAMS, KIND_PARAM
+            )
+            if index in summary.pool_params and hazards:
+                self.facts.pools.append(
+                    PoolEvent(
+                        line=arg_node.lineno,
+                        col=arg_node.col_offset,
+                        desc=(
+                            "reaches a process/pickle boundary "
+                            f"inside {callee.qualname}"
+                        ),
+                        labels=hazards,
+                    )
+                )
+            if index in summary.retains_params and hazards:
+                self.facts.retains.append(
+                    RetainEvent(
+                        line=arg_node.lineno,
+                        col=arg_node.col_offset,
+                        slot=callee.qualname,
+                        labels=hazards,
+                    )
+                )
+            ordered = _only(labels, KIND_ORDER, KIND_PARAM)
+            if index in summary.output_params and ordered:
+                self.facts.outputs.append(
+                    OutputEvent(
+                        line=arg_node.lineno,
+                        col=arg_node.col_offset,
+                        sink=f"output inside {callee.qualname}",
+                        labels=ordered,
+                    )
+                )
+        if summary.draws_internal:
+            self.facts.draws.append(
+                DrawEvent(
+                    line=node.lineno,
+                    col=node.col_offset,
+                    desc=(
+                        f"call to {callee.qualname}, which draws "
+                        "from persistent RNG state"
+                    ),
+                    labels=frozenset(
+                        {
+                            Label(
+                                kind=KIND_RNG,
+                                derived=False,
+                                site=Site(
+                                    module=callee.module,
+                                    line=callee.lineno,
+                                    col=0,
+                                    kind="attr",
+                                    detail=(
+                                        "persistent state inside "
+                                        f"{callee.qualname}"
+                                    ),
+                                ),
+                            )
+                        }
+                    ),
+                    region=self.region,
+                )
+            )
+        return frozenset(result)
+
+    def _map_args(self, node: ast.Call, target: CallTarget):
+        """Yield (param_index, arg_node, labels) rows for a call."""
+        rows = []
+        for position, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                self.eval(arg.value)
+                continue
+            rows.append(
+                (position + target.param_offset, arg, self.eval(arg))
+            )
+        for keyword in node.keywords:
+            labels = self.eval(keyword.value)
+            if keyword.arg is None:
+                continue
+            index = target.function.param_index(keyword.arg)
+            if index is not None:
+                rows.append((index, keyword.value, labels))
+        return rows
+
+
+def _initial_env(
+    project: ProjectModel, func: FunctionInfo
+) -> Dict[str, FrozenSet[Label]]:
+    env: Dict[str, FrozenSet[Label]] = {}
+    for index, name in enumerate(func.params):
+        if name == "self" and func.class_name is not None and index == 0:
+            env["self"] = frozenset(
+                {
+                    Label(
+                        kind=KIND_INSTANCE,
+                        derived=False,
+                        site=Site(
+                            module=func.module,
+                            line=func.lineno,
+                            col=0,
+                            kind="param",
+                            detail=f"{func.module}.{func.class_name}",
+                        ),
+                    )
+                }
+            )
+            continue
+        env[name] = frozenset(
+            {
+                Label(
+                    kind=KIND_PARAM,
+                    derived=False,
+                    site=Site(
+                        module=func.qualname,
+                        line=index,
+                        col=0,
+                        kind="param",
+                        detail=name,
+                    ),
+                    index=index,
+                )
+            }
+        )
+    return env
+
+
+def analyze_function(
+    project: ProjectModel,
+    state: "AnalysisState",
+    resolver: CallResolver,
+    func: FunctionInfo,
+) -> FunctionFacts:
+    """Interpret one function and return the observed facts.
+
+    The body is walked up to three times so taint introduced late in
+    the body reaches uses earlier in loops; events are only recorded on
+    the final walk.
+    """
+    env = _initial_env(project, func)
+    body = getattr(func.node, "body", [])
+    facts = FunctionFacts(qualname=func.qualname, module=func.module)
+    for _ in range(3):
+        interp = _Interpreter(project, state, resolver, func, env)
+        interp.exec_body(body)
+        facts = interp.facts
+        env = interp.env
+    return facts
+
+
+def analyze_module_globals(
+    project: ProjectModel,
+    state: "AnalysisState",
+    resolver: CallResolver,
+    module_name: str,
+) -> Dict[str, FrozenSet[Label]]:
+    """Taint of module-level assignments (``_SHARED = make_rng(0)``)."""
+    info = project.modules[module_name]
+    pseudo = FunctionInfo(
+        qualname=f"{module_name}.<module>",
+        module=module_name,
+        name="<module>",
+        node=info.tree,
+        lineno=1,
+        end_lineno=len(info.source.splitlines()) or 1,
+    )
+    interp = _Interpreter(project, state, resolver, pseudo, {})
+    for stmt in info.tree.body:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            interp.exec_stmt(stmt)
+    result: Dict[str, FrozenSet[Label]] = {}
+    for name, labels in interp.env.items():
+        kept = _only(
+            labels, KIND_RNG, KIND_STREAMS, KIND_ORDER, KIND_INSTANCE
+        )
+        if kept:
+            result[name] = kept
+    return result

@@ -2,10 +2,15 @@
 
 :func:`run_lint` is the single entry point used by the CLI, the tier-1
 gate test and the fixture tests.  It walks the given paths, parses each
-``*.py`` once, runs every enabled rule's visitor over the
-parent-annotated tree, drops inline-suppressed findings, subtracts the
-baseline when one is given, and returns a :class:`LintReport` whose
-``findings`` are exactly the violations that should fail a build.
+``*.py`` **exactly once**, runs every enabled syntactic rule's visitor
+over the parent-annotated tree and — under ``deep=True`` — hands the
+same trees to the whole-program pass (project model → interprocedural
+taint fixpoint → rules R7-R10).  Inline suppressions apply uniformly:
+a deep finding anchored at a line carrying ``# repro-lint: disable=R9
+reason`` is silenced exactly like a syntactic one.  The baseline is
+subtracted last, and the returned :class:`LintReport` carries exactly
+the violations that should fail a build, plus (when requested) the
+per-stage :class:`~repro.analysis.telemetry.LintStats`.
 """
 
 from __future__ import annotations
@@ -13,12 +18,13 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.findings import Finding
-from repro.analysis.rules import LintRule, attach_parents, resolve_rules
+from repro.analysis.rules import DeepRule, LintRule, attach_parents, resolve_rules
 from repro.analysis.suppressions import split_suppressed
+from repro.analysis.telemetry import LintStats, StageTimer
 from repro.errors import ReproError
 
 __all__ = ["AnalysisError", "LintReport", "run_lint"]
@@ -45,12 +51,16 @@ class LintReport:
         How many findings the baseline absorbed.
     files_scanned:
         Number of files parsed.
+    stats:
+        Per-stage timing, populated only when ``run_lint`` is called
+        with ``stats=True``.
     """
 
     findings: Tuple[Finding, ...]
     suppressed: Tuple[Finding, ...] = ()
     baselined: int = 0
     files_scanned: int = 0
+    stats: Optional[LintStats] = None
 
     @property
     def clean(self) -> bool:
@@ -58,9 +68,11 @@ class LintReport:
 
 
 @dataclass
-class _FileResult:
-    active: List[Finding] = field(default_factory=list)
-    suppressed: List[Finding] = field(default_factory=list)
+class _ParsedFile:
+    path: Path
+    display: str
+    source: str
+    tree: ast.Module
 
 
 def _iter_python_files(paths: Sequence[PathLike]) -> Iterator[Path]:
@@ -91,7 +103,7 @@ def _display_path(path: Path, root: Optional[Path]) -> str:
     return path.as_posix()
 
 
-def _lint_file(path: Path, rules: Sequence[LintRule], display: str) -> _FileResult:
+def _parse_file(path: Path, display: str) -> _ParsedFile:
     try:
         source = path.read_text(encoding="utf-8")
     except OSError as exc:
@@ -102,12 +114,35 @@ def _lint_file(path: Path, rules: Sequence[LintRule], display: str) -> _FileResu
         raise AnalysisError(
             f"cannot parse {path}: {exc.msg} (line {exc.lineno})"
         )
-    findings: List[Finding] = []
-    for rule in rules:
-        findings.extend(rule.check(tree, display))
-    result = _FileResult()
-    result.active, result.suppressed = split_suppressed(findings, source)
-    return result
+    return _ParsedFile(path=path, display=display, source=source, tree=tree)
+
+
+def _run_deep_pass(
+    parsed: Sequence[_ParsedFile],
+    deep_rules: Sequence[DeepRule],
+    timer: StageTimer,
+    stats: LintStats,
+) -> List[Finding]:
+    # Imported lazily so plain (shallow) lint runs never pay for the
+    # dataflow machinery.
+    from repro.analysis.dataflow import (
+        analyze_project,
+        build_project,
+        run_deep_rules,
+    )
+
+    with timer.stage("project-model"):
+        project = build_project(
+            [(f.path, f.display, f.source, f.tree) for f in parsed]
+        )
+    with timer.stage("taint-fixpoint"):
+        state = analyze_project(project)
+    with timer.stage("deep-rules"):
+        findings = run_deep_rules(project, state, deep_rules)
+    stats.modules = len(project.modules)
+    stats.functions = len(project.functions)
+    stats.fixpoint_iterations = state.iterations
+    return findings
 
 
 def run_lint(
@@ -116,6 +151,8 @@ def run_lint(
     rules: Optional[Sequence[str]] = None,
     baseline: Optional[Baseline] = None,
     root: Optional[PathLike] = None,
+    deep: bool = False,
+    stats: bool = False,
 ) -> LintReport:
     """Lint ``paths`` (files and/or directory trees).
 
@@ -125,37 +162,77 @@ def run_lint(
         Files or directories; directories are walked recursively for
         ``*.py``.
     rules:
-        Rule ids to enable (default: all).  Unknown ids raise
-        :class:`AnalysisError`.
+        Rule ids to enable (default: all syntactic rules, plus the
+        deep rules when ``deep=True``).  Unknown ids raise
+        :class:`AnalysisError`, as does selecting a deep rule without
+        ``deep=True``.
     baseline:
         Grandfathered findings to subtract from the result.
     root:
         Directory that finding paths are reported relative to (when the
         file lies under it); keeps baselines machine-independent.
+    deep:
+        Also run the whole-program dataflow pass (rules R7-R10) over
+        the scanned file set.
+    stats:
+        Collect per-stage timing into ``LintReport.stats``.
     """
     try:
-        enabled = resolve_rules(rules)
+        enabled = resolve_rules(rules, deep=deep)
     except ValueError as exc:
         raise AnalysisError(str(exc))
+    syntactic = [r for r in enabled if not isinstance(r, DeepRule)]
+    deep_rules = [r for r in enabled if isinstance(r, DeepRule)]
     root_path = Path(root) if root is not None else None
+    timer = StageTimer()
+    run_stats = LintStats()
+
+    parsed: List[_ParsedFile] = []
+    with timer.stage("parse"):
+        for path in _iter_python_files(paths):
+            parsed.append(
+                _parse_file(path, _display_path(path, root_path))
+            )
+    run_stats.files = len(parsed)
+
+    by_display: Dict[str, List[Finding]] = {}
+    with timer.stage("syntactic-rules"):
+        for item in parsed:
+            file_findings: List[Finding] = []
+            for rule in syntactic:
+                file_findings.extend(rule.check(item.tree, item.display))
+            by_display[item.display] = file_findings
+
+    if deep and deep_rules:
+        for finding in _run_deep_pass(
+            parsed, deep_rules, timer, run_stats
+        ):
+            # Deep findings always anchor at a scanned module, so the
+            # display key exists; anything else would be a rule bug —
+            # route it through an empty-suppression bucket regardless.
+            by_display.setdefault(finding.path, []).append(finding)
+
     active: List[Finding] = []
     suppressed: List[Finding] = []
-    files_scanned = 0
-    for path in _iter_python_files(paths):
-        files_scanned += 1
-        result = _lint_file(
-            path, enabled, _display_path(path, root_path)
-        )
-        active.extend(result.active)
-        suppressed.extend(result.suppressed)
+    sources = {item.display: item.source for item in parsed}
+    with timer.stage("suppressions"):
+        for display, file_findings in by_display.items():
+            keep, silenced = split_suppressed(
+                file_findings, sources.get(display, "")
+            )
+            active.extend(keep)
+            suppressed.extend(silenced)
+
     baselined = 0
     if baseline is not None:
         new = baseline.filter_new(active)
         baselined = len(active) - len(new)
         active = new
+    run_stats.timings = dict(timer.seconds)
     return LintReport(
         findings=tuple(sorted(active)),
         suppressed=tuple(sorted(suppressed)),
         baselined=baselined,
-        files_scanned=files_scanned,
+        files_scanned=len(parsed),
+        stats=run_stats if stats else None,
     )

@@ -1,0 +1,53 @@
+"""``repro lint --explain Rn`` — why a rule exists and how to satisfy it.
+
+Each rule carries its own documentation (title, rationale, a minimal
+bad/good example pair) on the rule class; this module only formats it.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.rules import rule_by_id
+
+__all__ = ["render_explain"]
+
+_FAMILY_BLURB = {
+    "syntactic": "per-file rule (always on)",
+    "dataflow": "whole-program rule (runs under --deep)",
+}
+
+
+def _indent_block(snippet: str) -> str:
+    return textwrap.indent(snippet.rstrip("\n"), "    ")
+
+
+def render_explain(rule_id: str) -> str:
+    """Human-readable documentation for one rule id.
+
+    Raises ValueError for unknown ids (the CLI maps that to exit 1).
+    """
+    rule = rule_by_id(rule_id)
+    family = _FAMILY_BLURB.get(rule.family, rule.family)
+    lines = [
+        f"{rule.rule_id} — {rule.title}",
+        f"  {family}",
+        "",
+    ]
+    lines.extend(
+        textwrap.wrap(
+            rule.rationale, width=76, initial_indent="", subsequent_indent=""
+        )
+    )
+    if rule.bad_example:
+        lines.extend(["", "Bad:", _indent_block(rule.bad_example)])
+    if rule.good_example:
+        lines.extend(["", "Good:", _indent_block(rule.good_example)])
+    lines.extend(
+        [
+            "",
+            "Suppress a justified exception inline with:",
+            f"    # repro-lint: disable={rule.rule_id} <reason>",
+        ]
+    )
+    return "\n".join(lines)

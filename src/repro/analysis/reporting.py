@@ -1,14 +1,21 @@
-"""Text and JSON renderers for lint reports."""
+"""Text, JSON and SARIF renderers for lint reports.
+
+SARIF output targets the subset of SARIF 2.1.0 that GitHub code
+scanning consumes: one run, a driver carrying per-rule metadata from
+the registry, one result per finding with a physical location.  The
+fix suggestion travels inside the result message so it survives
+viewers that ignore ``fixes``.
+"""
 
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Dict, List
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
     from repro.analysis.engine import LintReport
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def render_text(report: "LintReport") -> str:
@@ -41,5 +48,79 @@ def render_json(report: "LintReport") -> str:
         "suppressed": len(report.suppressed),
         "baselined": report.baselined,
         "findings": [finding.to_dict() for finding in report.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(report: "LintReport") -> str:
+    """A SARIF 2.1.0 log suitable for GitHub code-scanning upload."""
+    from repro.analysis.rules import ALL_RULES
+
+    rule_order = [rule.rule_id for rule in ALL_RULES]
+    rules_meta: List[Dict[str, Any]] = []
+    for rule in ALL_RULES:
+        rules_meta.append(
+            {
+                "id": rule.rule_id,
+                "name": rule.title,
+                "shortDescription": {"text": rule.title},
+                "fullDescription": {"text": rule.rationale},
+                "help": {
+                    "text": (
+                        f"Bad:\n{rule.bad_example}\n"
+                        f"Good:\n{rule.good_example}"
+                    )
+                },
+                "properties": {"family": rule.family},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    results: List[Dict[str, Any]] = []
+    for finding in report.findings:
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_order.index(finding.rule),
+                "level": "error",
+                "message": {
+                    "text": (
+                        f"{finding.message} — fix: {finding.suggestion}"
+                    )
+                },
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            # Relative URI: code-scanning resolves it
+                            # against the repository root.
+                            "artifactLocation": {"uri": finding.path},
+                            "region": {
+                                "startLine": max(finding.line, 1),
+                                "startColumn": finding.column + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,61 @@
+"""The determinism-contract rules, as a two-family registry package.
+
+* :mod:`repro.analysis.rules.base` — shared rule/visitor machinery;
+* :mod:`repro.analysis.rules.syntactic` — the per-file rules R1-R6;
+* :mod:`repro.analysis.dataflow` — the whole-program rules R7-R10;
+* :mod:`repro.analysis.rules.registry` — the flat id space and the
+  resolver the engine uses.
+
+This ``__init__`` re-exports the historical ``repro.analysis.rules``
+surface (``ALL_RULES``, ``resolve_rules``, ``attach_parents`` …) so the
+refactor from the original single-module layout is invisible to
+callers.
+"""
+
+from repro.analysis.rules.base import (
+    DeepRule,
+    LintRule,
+    RuleVisitor,
+    attach_parents,
+    parent_of,
+)
+from repro.analysis.rules.registry import (
+    ALL_RULES,
+    DEEP_RULE_IDS,
+    DEEP_RULES,
+    RULE_IDS,
+    SYNTACTIC_RULE_IDS,
+    SYNTACTIC_RULES,
+    resolve_rules,
+    rule_by_id,
+)
+from repro.analysis.rules.syntactic import (
+    FloatEqualityRule,
+    IdKeyedCacheRule,
+    PickleUnsafeWorkerRule,
+    UnorderedSetIterationRule,
+    UnseededRandomnessRule,
+    WallClockRule,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "DEEP_RULES",
+    "DEEP_RULE_IDS",
+    "RULE_IDS",
+    "SYNTACTIC_RULES",
+    "SYNTACTIC_RULE_IDS",
+    "DeepRule",
+    "LintRule",
+    "RuleVisitor",
+    "attach_parents",
+    "parent_of",
+    "resolve_rules",
+    "rule_by_id",
+    "IdKeyedCacheRule",
+    "UnseededRandomnessRule",
+    "WallClockRule",
+    "UnorderedSetIterationRule",
+    "PickleUnsafeWorkerRule",
+    "FloatEqualityRule",
+]

@@ -1,0 +1,111 @@
+"""Shared rule machinery: the rule base classes and the parent links.
+
+Two rule families share this module (see :mod:`repro.analysis.rules`):
+
+* **syntactic** rules (R1-R6) are per-file :class:`ast.NodeVisitor`
+  subclasses — one visitor instance per (rule, file), no knowledge of
+  any other file;
+* **dataflow** rules (R7-R10, :mod:`repro.analysis.dataflow`) run once
+  over a whole-program :class:`~repro.analysis.dataflow.model.ProjectModel`
+  and reason across call and module boundaries.
+
+Both families subclass :class:`LintRule` so the registry, the
+``--explain`` renderer and the SARIF reporter can treat them uniformly:
+every rule carries an id, a title, a one-line rationale and a minimal
+good/bad example pair.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Type
+
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "LintRule",
+    "DeepRule",
+    "RuleVisitor",
+    "attach_parents",
+    "parent_of",
+]
+
+_PARENT = "_repro_lint_parent"
+
+
+def attach_parents(tree: ast.AST) -> ast.AST:
+    """Annotate every node with its parent so visitors can climb."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            setattr(child, _PARENT, parent)
+    return tree
+
+
+def parent_of(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, _PARENT, None)
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """A per-file visitor bound to one rule and one file."""
+
+    def __init__(self, rule: "LintRule", path: str) -> None:
+        self.rule = rule
+        self.path = path
+        self.findings: List[Finding] = []
+
+    def add(self, node: ast.AST, message: str, suggestion: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                column=getattr(node, "col_offset", 0),
+                rule=self.rule.rule_id,
+                message=message,
+                suggestion=suggestion,
+            )
+        )
+
+
+class LintRule:
+    """Base class: identity, documentation and visitor factory."""
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+    #: ``"syntactic"`` (per-file AST) or ``"dataflow"`` (whole-program).
+    family: str = "syntactic"
+    #: Minimal violating snippet, rendered by ``repro lint --explain``.
+    bad_example: str = ""
+    #: The snippet's clean twin.
+    good_example: str = ""
+    visitor_class: Type[RuleVisitor] = RuleVisitor
+
+    def visitor(self, path: str) -> RuleVisitor:
+        return self.visitor_class(self, path)
+
+    def check(self, tree: ast.AST, path: str) -> List[Finding]:
+        """Run this rule over a parent-annotated module tree."""
+        visitor = self.visitor(path)
+        visitor.visit(tree)
+        return visitor.findings
+
+
+class DeepRule(LintRule):
+    """A whole-program rule; ``check_project`` replaces ``check``.
+
+    Deep rules do not visit single files: the engine builds one
+    :class:`~repro.analysis.dataflow.model.ProjectModel` plus the
+    interprocedural :class:`~repro.analysis.dataflow.summaries.AnalysisState`
+    for the scanned file set and hands both to every enabled deep rule.
+    """
+
+    family = "dataflow"
+
+    def check(self, tree: ast.AST, path: str) -> List[Finding]:
+        raise NotImplementedError(
+            f"{self.rule_id} is a whole-program rule; it has no "
+            "per-file visitor (run it through the --deep engine path)"
+        )
+
+    def check_project(self, project, state) -> List[Finding]:
+        raise NotImplementedError

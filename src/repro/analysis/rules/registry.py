@@ -1,0 +1,100 @@
+"""The rule registry: both families, one id space, one resolver.
+
+The registry is the single source of truth for which rules exist.  It
+keeps the two families apart — syntactic rules run per file, dataflow
+rules run once per project — because the engine dispatches them down
+different paths, while ``--rules``, ``--explain``, the SARIF metadata
+and the reporters all see one flat id space R1-R10.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Type
+
+from repro.analysis.dataflow.rules_deep import DEEP_RULES
+from repro.analysis.rules.base import DeepRule, LintRule
+from repro.analysis.rules.syntactic import (
+    FloatEqualityRule,
+    IdKeyedCacheRule,
+    PickleUnsafeWorkerRule,
+    UnorderedSetIterationRule,
+    UnseededRandomnessRule,
+    WallClockRule,
+)
+
+__all__ = [
+    "SYNTACTIC_RULES",
+    "DEEP_RULES",
+    "ALL_RULES",
+    "RULE_IDS",
+    "SYNTACTIC_RULE_IDS",
+    "DEEP_RULE_IDS",
+    "rule_by_id",
+    "resolve_rules",
+]
+
+SYNTACTIC_RULES: Tuple[Type[LintRule], ...] = (
+    IdKeyedCacheRule,
+    UnseededRandomnessRule,
+    WallClockRule,
+    UnorderedSetIterationRule,
+    PickleUnsafeWorkerRule,
+    FloatEqualityRule,
+)
+
+ALL_RULES: Tuple[Type[LintRule], ...] = SYNTACTIC_RULES + DEEP_RULES
+
+SYNTACTIC_RULE_IDS: Tuple[str, ...] = tuple(
+    rule.rule_id for rule in SYNTACTIC_RULES
+)
+DEEP_RULE_IDS: Tuple[str, ...] = tuple(rule.rule_id for rule in DEEP_RULES)
+RULE_IDS: Tuple[str, ...] = SYNTACTIC_RULE_IDS + DEEP_RULE_IDS
+
+_BY_ID: Dict[str, Type[LintRule]] = {
+    rule.rule_id: rule for rule in ALL_RULES
+}
+
+
+def rule_by_id(rule_id: str) -> Type[LintRule]:
+    """The rule class for ``rule_id``; raises ValueError if unknown."""
+    normalized = rule_id.strip().upper()
+    if normalized not in _BY_ID:
+        raise ValueError(
+            f"unknown rule id: {rule_id}; known: {', '.join(RULE_IDS)}"
+        )
+    return _BY_ID[normalized]
+
+
+def resolve_rules(
+    selected: Optional[Iterable[str]] = None,
+    *,
+    deep: bool = False,
+) -> List[LintRule]:
+    """Instantiate the selected rules.
+
+    With no explicit selection, a shallow run enables the syntactic
+    family and a ``--deep`` run enables everything.  Selecting a deep
+    rule id without ``deep=True`` raises :class:`ValueError` — the
+    whole-program pass is an order of magnitude slower than the
+    per-file visitors, so it never engages implicitly.
+    """
+    if selected is None:
+        wanted = list(RULE_IDS if deep else SYNTACTIC_RULE_IDS)
+    else:
+        wanted = [rule_id.strip().upper() for rule_id in selected]
+        unknown = [rule_id for rule_id in wanted if rule_id not in _BY_ID]
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(RULE_IDS)}"
+            )
+        if not deep:
+            deep_selected = [
+                rule_id for rule_id in wanted if rule_id in DEEP_RULE_IDS
+            ]
+            if deep_selected:
+                raise ValueError(
+                    f"rule(s) {', '.join(deep_selected)} need the "
+                    "whole-program pass; re-run with --deep"
+                )
+    return [_BY_ID[rule_id]() for rule_id in wanted]

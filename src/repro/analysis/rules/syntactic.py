@@ -1,4 +1,4 @@
-"""The determinism-contract rules and their AST visitors.
+"""The per-file (syntactic) determinism-contract rules, R1-R6.
 
 Each rule owns one invariant the reproduction's replay determinism rests
 on (see DESIGN.md, "Determinism contract"):
@@ -19,28 +19,28 @@ R6    no float ``==``/``!=`` comparisons
 ====  ==============================================================
 
 Rules are :class:`ast.NodeVisitor` subclasses registered in
-:data:`ALL_RULES`; the engine instantiates one visitor per (rule, file)
-and collects :class:`~repro.analysis.findings.Finding` objects.  The
-visitors are deliberately syntactic: they over-approximate (every hit is
-either a real hazard or a site worth an inline suppression with a
-written reason) rather than attempting type inference.
+:data:`repro.analysis.rules.registry.SYNTACTIC_RULES`; the engine
+instantiates one visitor per (rule, file) and collects
+:class:`~repro.analysis.findings.Finding` objects.  The visitors are
+deliberately syntactic: they over-approximate (every hit is either a
+real hazard or a site worth an inline suppression with a written
+reason) rather than attempting type inference.  The whole-program
+rules R7-R10 live in :mod:`repro.analysis.dataflow`.
 """
 
 from __future__ import annotations
 
 import ast
 from fnmatch import fnmatch
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+from typing import List, Sequence, Set, Tuple
 
-from repro.analysis.findings import Finding
+from repro.analysis.rules.base import (
+    LintRule,
+    RuleVisitor,
+    parent_of as _parent,
+)
 
 __all__ = [
-    "ALL_RULES",
-    "RULE_IDS",
-    "LintRule",
-    "RuleVisitor",
-    "attach_parents",
-    "resolve_rules",
     "IdKeyedCacheRule",
     "UnseededRandomnessRule",
     "WallClockRule",
@@ -48,59 +48,6 @@ __all__ = [
     "PickleUnsafeWorkerRule",
     "FloatEqualityRule",
 ]
-
-_PARENT = "_repro_lint_parent"
-
-
-def attach_parents(tree: ast.AST) -> ast.AST:
-    """Annotate every node with its parent so visitors can climb."""
-    for parent in ast.walk(tree):
-        for child in ast.iter_child_nodes(parent):
-            setattr(child, _PARENT, parent)
-    return tree
-
-
-def _parent(node: ast.AST) -> Optional[ast.AST]:
-    return getattr(node, _PARENT, None)
-
-
-class RuleVisitor(ast.NodeVisitor):
-    """A per-file visitor bound to one rule and one file."""
-
-    def __init__(self, rule: "LintRule", path: str) -> None:
-        self.rule = rule
-        self.path = path
-        self.findings: List[Finding] = []
-
-    def add(self, node: ast.AST, message: str, suggestion: str) -> None:
-        self.findings.append(
-            Finding(
-                path=self.path,
-                line=getattr(node, "lineno", 1),
-                column=getattr(node, "col_offset", 0),
-                rule=self.rule.rule_id,
-                message=message,
-                suggestion=suggestion,
-            )
-        )
-
-
-class LintRule:
-    """Base class: identity, documentation and visitor factory."""
-
-    rule_id: str = ""
-    title: str = ""
-    rationale: str = ""
-    visitor_class: Type[RuleVisitor] = RuleVisitor
-
-    def visitor(self, path: str) -> RuleVisitor:
-        return self.visitor_class(self, path)
-
-    def check(self, tree: ast.AST, path: str) -> List[Finding]:
-        """Run this rule over a parent-annotated module tree."""
-        visitor = self.visitor(path)
-        visitor.visit(tree)
-        return visitor.findings
 
 
 # ----------------------------------------------------------------------
@@ -182,6 +129,11 @@ class IdKeyedCacheRule(LintRule):
     title = "id()-keyed caches"
     rationale = (
         "id() keys alias recycled addresses; PR 1 hit this three times"
+    )
+    bad_example = "cache[id(process)] = strengths"
+    good_example = (
+        "cache[id(process)] = (process, strengths)"
+        "  # repro-lint: disable=R1 entry pins process, verified with 'is'"
     )
     visitor_class = _IdKeyedCacheVisitor
 
@@ -289,6 +241,10 @@ class UnseededRandomnessRule(LintRule):
     rule_id = "R2"
     title = "unseeded randomness"
     rationale = "global RNG state forks silently across pool workers"
+    bad_example = "import random\nvalue = random.random()"
+    good_example = (
+        "rng = repro.util.rng.make_rng(seed)\nvalue = rng.random()"
+    )
     visitor_class = _UnseededRandomnessVisitor
 
 
@@ -409,6 +365,10 @@ class WallClockRule(LintRule):
     rule_id = "R3"
     title = "wall clock in library code"
     rationale = "wall-clock reads make identical replays diverge"
+    bad_example = "started = time.time()"
+    good_example = (
+        "started = entry.timestamp  # simulated time from the log"
+    )
     visitor_class = _WallClockVisitor
 
     def __init__(
@@ -484,6 +444,10 @@ class UnorderedSetIterationRule(LintRule):
     rule_id = "R4"
     title = "unordered set iteration"
     rationale = "set order varies per process; sorted() restores replay"
+    bad_example = "for name in {entry.symptom for entry in log}: ..."
+    good_example = (
+        "for name in sorted({entry.symptom for entry in log}): ..."
+    )
     visitor_class = _UnorderedSetIterationVisitor
 
 
@@ -577,6 +541,8 @@ class PickleUnsafeWorkerRule(LintRule):
     rule_id = "R5"
     title = "pickle-unsafe worker arguments"
     rationale = "pool workers only accept module-level callables"
+    bad_example = "executor.submit(lambda: train(error_type))"
+    good_example = "executor.submit(_worker_train, error_type)"
     visitor_class = _PickleUnsafeWorkerVisitor
 
 
@@ -638,40 +604,6 @@ class FloatEqualityRule(LintRule):
     rule_id = "R6"
     title = "float equality"
     rationale = "exact float compares break across platforms and runs"
+    bad_example = "if total_cost == expected_cost: ..."
+    good_example = "if math.isclose(total_cost, expected_cost): ..."
     visitor_class = _FloatEqualityVisitor
-
-
-# ----------------------------------------------------------------------
-ALL_RULES: Tuple[Type[LintRule], ...] = (
-    IdKeyedCacheRule,
-    UnseededRandomnessRule,
-    WallClockRule,
-    UnorderedSetIterationRule,
-    PickleUnsafeWorkerRule,
-    FloatEqualityRule,
-)
-
-RULE_IDS: Tuple[str, ...] = tuple(rule.rule_id for rule in ALL_RULES)
-
-
-def resolve_rules(
-    selected: Optional[Iterable[str]] = None,
-) -> List[LintRule]:
-    """Instantiate the selected rules (all of them by default).
-
-    Raises :class:`ValueError` naming any unknown rule id.
-    """
-    by_id: Dict[str, Type[LintRule]] = {
-        rule.rule_id: rule for rule in ALL_RULES
-    }
-    if selected is None:
-        wanted = list(RULE_IDS)
-    else:
-        wanted = [rule_id.strip().upper() for rule_id in selected]
-        unknown = [rule_id for rule_id in wanted if rule_id not in by_id]
-        if unknown:
-            raise ValueError(
-                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
-                f"known: {', '.join(RULE_IDS)}"
-            )
-    return [by_id[rule_id]() for rule_id in wanted]

@@ -1,0 +1,60 @@
+"""Stage timing for ``repro lint --stats``.
+
+Timing the linter is diagnostic output, not simulated behavior, so the
+wall-clock contract (rule R3) does not apply here — this module lives
+under the ``*/telemetry.py`` allowlist for exactly that reason.  The
+stats never feed back into analysis results; they are rendered to
+stderr so ``--format json``/``sarif`` stdout stays machine-readable.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, Iterator
+
+__all__ = ["LintStats", "StageTimer"]
+
+
+class StageTimer:
+    """Accumulates wall-clock seconds per named stage."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[name] = (
+                self.seconds.get(name, 0.0) + perf_counter() - start
+            )
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+
+@dataclass
+class LintStats:
+    """What one lint run cost, stage by stage."""
+
+    files: int = 0
+    modules: int = 0
+    functions: int = 0
+    fixpoint_iterations: int = 0
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = ["lint stats:"]
+        for name in sorted(self.timings):
+            lines.append(f"  {name:<18} {self.timings[name] * 1000:8.1f} ms")
+        lines.append(f"  {'total':<18} {sum(self.timings.values()) * 1000:8.1f} ms")
+        lines.append(
+            f"  files={self.files} modules={self.modules} "
+            f"functions={self.functions} "
+            f"fixpoint_iterations={self.fixpoint_iterations}"
+        )
+        return "\n".join(lines)

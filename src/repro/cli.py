@@ -168,7 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = commands.add_parser(
         "lint",
-        help="run the determinism-contract analyzer (rules R1-R6)",
+        help="run the determinism-contract analyzer (rules R1-R10)",
     )
     lint.add_argument(
         "paths",
@@ -181,7 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to enable, e.g. R1,R3 (default: all)",
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text"
+        "--deep",
+        action="store_true",
+        help="also run the whole-program dataflow pass (rules R7-R10)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
     )
     lint.add_argument(
         "--baseline",
@@ -192,6 +197,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline",
         action="store_true",
         help="rewrite --baseline with the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="RULE",
+        default=None,
+        help="print one rule's rationale and a good/bad example, then exit",
+    )
+    lint.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-stage timing to stderr",
     )
     return parser
 
@@ -374,20 +390,37 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     from repro.analysis import (
         Baseline,
+        render_explain,
         render_json,
+        render_sarif,
         render_text,
         run_lint,
     )
     from repro.errors import ConfigurationError
 
+    if args.explain:
+        try:
+            print(render_explain(args.explain))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
     paths = args.paths or [str(Path(__file__).resolve().parent)]
     rules = args.rules.split(",") if args.rules else None
     baseline = None
     if args.baseline and not args.update_baseline:
         baseline = Baseline.load(args.baseline)
     report = run_lint(
-        paths, rules=rules, baseline=baseline, root=Path.cwd()
+        paths,
+        rules=rules,
+        baseline=baseline,
+        root=Path.cwd(),
+        deep=args.deep,
+        stats=args.stats,
     )
+    if args.stats and report.stats is not None:
+        # stderr, so --format json/sarif stdout stays machine-readable
+        print(report.stats.render(), file=sys.stderr)
     if args.update_baseline:
         if not args.baseline:
             raise ConfigurationError(
@@ -400,7 +433,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             f"{args.baseline}"
         )
         return 0
-    renderer = render_json if args.format == "json" else render_text
+    renderer = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "text": render_text,
+    }[args.format]
     print(renderer(report))
     return 0 if report.clean else 1
 

@@ -1,0 +1,8 @@
+"""R10 true positive: set-ordered value serialized by another module."""
+
+from r10_bad_writer import write_summary
+
+
+def summarize(episodes):
+    names = {episode.name for episode in episodes}
+    return write_summary(names)

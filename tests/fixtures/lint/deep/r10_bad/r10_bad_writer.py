@@ -1,0 +1,7 @@
+"""Serializes whatever it is handed (see r10_bad_collect)."""
+
+import json
+
+
+def write_summary(names):
+    return json.dumps(list(names))

@@ -1,0 +1,8 @@
+"""R10 clean twin: the set is sorted before it reaches the writer."""
+
+from r10_good_writer import write_summary
+
+
+def summarize(episodes):
+    names = {episode.name for episode in episodes}
+    return write_summary(sorted(names))

@@ -1,0 +1,13 @@
+"""The dispatcher half of the R7 true-positive pair."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(gen):
+    return gen.random()
+
+
+def dispatch(gen):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        future = pool.submit(work, gen)
+    return future.result()

@@ -1,0 +1,15 @@
+"""R7 true positive: a Generator object crosses a process boundary.
+
+The generator is created here and handed to a dispatcher in another
+module, which forwards it into a ProcessPoolExecutor submission — the
+violation is only visible across the function/module boundary.
+"""
+
+from r7_bad_pool import dispatch
+
+from repro.util.rng import make_rng
+
+
+def train(seed):
+    rng = make_rng(seed)
+    return dispatch(rng)

@@ -1,0 +1,16 @@
+"""The dispatcher half of the R7 clean pair: workers rebuild the rng."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.util.rng import make_rng
+
+
+def work(worker_seed):
+    rng = make_rng(worker_seed)
+    return rng.random()
+
+
+def dispatch(worker_seed):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        future = pool.submit(work, worker_seed)
+    return future.result()

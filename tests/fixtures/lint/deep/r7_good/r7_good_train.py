@@ -1,0 +1,9 @@
+"""R7 clean twin: only a derived seed crosses the process boundary."""
+
+from r7_good_pool import dispatch
+
+from repro.util.rng import derive_seed
+
+
+def train(seed):
+    return dispatch(derive_seed(seed, "worker", 0))

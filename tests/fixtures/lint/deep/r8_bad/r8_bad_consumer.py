@@ -1,0 +1,7 @@
+"""Second consumer of the ``episode`` channel (see r8_bad_streams)."""
+
+from r8_bad_streams import STREAMS
+
+
+def evaluate():
+    return STREAMS.get("episode").random()

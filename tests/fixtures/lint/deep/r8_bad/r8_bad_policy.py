@@ -1,0 +1,10 @@
+"""R8 true positive (retention aliasing): one Generator, two slots."""
+
+from repro.util.rng import make_rng
+
+
+class Policy:
+    def __init__(self, seed):
+        rng = make_rng(seed)
+        self.action_rng = rng
+        self.noise_rng = rng

@@ -1,0 +1,13 @@
+"""R8 true positive (channel aliasing): one channel, two consumers.
+
+``evaluate`` lives in another module and fetches the same named
+channel — only the whole-program view sees both consumers.
+"""
+
+from repro.util.rng import RngStreams
+
+STREAMS = RngStreams()
+
+
+def explore():
+    return STREAMS.get("episode").random()

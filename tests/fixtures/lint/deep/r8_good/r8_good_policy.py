@@ -1,0 +1,19 @@
+"""R8 clean twin: one derived generator (or channel) per consumer."""
+
+from repro.util.rng import RngStreams, derive_rng
+
+STREAMS = RngStreams()
+
+
+class Policy:
+    def __init__(self, seed):
+        self.action_rng = derive_rng(seed, "action")
+        self.noise_rng = derive_rng(seed, "noise")
+
+
+def explore():
+    return STREAMS.get("explore").random()
+
+
+def evaluate():
+    return STREAMS.get("evaluate").random()

@@ -1,0 +1,16 @@
+"""R9 true positive: persistent generator drawn under set iteration.
+
+The unordered collection comes out of one module, the draw happens
+inside a helper in another — neither file shows the bug on its own.
+"""
+
+from r9_bad_inject import inject_error
+from r9_bad_topology import load_processes
+
+from repro.util.rng import make_rng
+
+
+def run(seed):
+    rng = make_rng(seed)
+    for process in load_processes():
+        inject_error(process, rng)

@@ -1,0 +1,5 @@
+"""Draws from the caller's generator (see r9_bad_driver)."""
+
+
+def inject_error(process, rng):
+    return process, rng.random()

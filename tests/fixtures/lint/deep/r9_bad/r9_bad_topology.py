@@ -1,0 +1,5 @@
+"""Produces the unordered collection for the R9 true-positive pair."""
+
+
+def load_processes():
+    return set(["db", "web", "cache"])

@@ -1,0 +1,15 @@
+"""R9 clean twin: sorted iteration plus a per-item derived generator.
+
+Deriving inside the loop means no generator state survives across
+iterations, so iteration order cannot leak into the draws.
+"""
+
+from r9_good_inject import inject_error
+from r9_good_topology import load_processes
+
+from repro.util.rng import derive_rng
+
+
+def run(seed):
+    for process in sorted(load_processes()):
+        inject_error(process, derive_rng(seed, process))

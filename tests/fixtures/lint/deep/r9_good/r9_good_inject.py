@@ -1,0 +1,5 @@
+"""Draws from the caller's per-item generator (see r9_good_driver)."""
+
+
+def inject_error(process, rng):
+    return process, rng.random()

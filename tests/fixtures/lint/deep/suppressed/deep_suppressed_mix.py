@@ -1,0 +1,45 @@
+"""Inline suppressions silence deep findings exactly like syntactic ones.
+
+Every block below violates one of R7-R10 on purpose; each finding line
+carries a reasoned ``repro-lint: disable`` comment, so a ``--deep`` run
+over this directory must come back clean with four suppressions.
+"""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.util.rng import make_rng
+
+
+def work(gen):
+    return gen.random()
+
+
+def ship(seed):
+    rng = make_rng(seed)
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        pool.submit(work, rng)  # repro-lint: disable=R7 harness pins worker draw order in replay
+
+
+class Holder:
+    def __init__(self, seed):
+        rng = make_rng(seed)  # repro-lint: disable=R8 lockstep draws are the point of this holder
+        self.left = rng
+        self.right = rng
+
+
+def unordered(items):
+    return set(items)
+
+
+def sweep(seed, items):
+    rng = make_rng(seed)
+    total = 0.0
+    for _ in unordered(items):
+        total += rng.random()  # repro-lint: disable=R9 sum is order-insensitive
+    return total
+
+
+def dump(items):
+    names = {item.name for item in items}
+    return json.dumps(list(names))  # repro-lint: disable=R10 consumer sorts before diffing

@@ -1,0 +1,164 @@
+"""The deep gate: ``repro lint --deep`` over the shipped tree.
+
+Mirrors the tier-1 syntactic gate one level up: the whole-program
+rules R7-R10 must come back with zero unsuppressed findings on
+``src/repro``, with an empty baseline, inside the CI wall-clock budget.
+The companion tests pin the new CLI surface (--deep, --format sarif,
+--explain, --stats).
+"""
+
+import json
+from pathlib import Path
+from time import perf_counter
+
+import repro
+from repro.analysis import Baseline, render_text, run_lint
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+PACKAGE_DIR = Path(repro.__file__).resolve().parent
+BASELINE_PATH = REPO_ROOT / "lint-baseline.json"
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+
+# CI runs `timeout 15 repro lint --deep src/` — keep headroom below it.
+DEEP_BUDGET_SECONDS = 15.0
+
+
+class TestDeepGate:
+    def test_package_tree_is_deep_clean_within_budget(self):
+        baseline = Baseline.load(BASELINE_PATH)
+        start = perf_counter()
+        report = run_lint(
+            [PACKAGE_DIR],
+            baseline=baseline,
+            root=REPO_ROOT,
+            deep=True,
+        )
+        elapsed = perf_counter() - start
+        assert report.clean, "\n" + render_text(report)
+        assert report.baselined == 0  # the baseline absorbs nothing
+        assert elapsed < DEEP_BUDGET_SECONDS, (
+            f"deep lint took {elapsed:.1f}s, budget is "
+            f"{DEEP_BUDGET_SECONDS:.0f}s"
+        )
+
+    def test_deep_cli_invocation_matches_ci(self, capsys):
+        code = main(
+            [
+                "lint",
+                str(PACKAGE_DIR),
+                "--deep",
+                "--baseline",
+                str(BASELINE_PATH),
+            ]
+        )
+        assert code == 0
+        assert "0 findings" in capsys.readouterr().out
+
+
+class TestSarifOutput:
+    def test_sarif_carries_all_rule_metadata(self, capsys):
+        code = main(
+            [
+                "lint",
+                str(FIXTURES / "r1_good.py"),
+                "--format",
+                "sarif",
+            ]
+        )
+        assert code == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        ids = [rule["id"] for rule in driver["rules"]]
+        assert ids == [
+            "R1", "R2", "R3", "R4", "R5", "R6",
+            "R7", "R8", "R9", "R10",
+        ]
+        for rule in driver["rules"]:
+            assert rule["fullDescription"]["text"]
+            assert rule["properties"]["family"] in (
+                "syntactic", "dataflow",
+            )
+
+    def test_sarif_results_locate_deep_findings(self, capsys):
+        code = main(
+            [
+                "lint",
+                str(FIXTURES / "deep" / "r9_bad"),
+                "--deep",
+                "--format",
+                "sarif",
+            ]
+        )
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        (result,) = log["runs"][0]["results"]
+        assert result["ruleId"] == "R9"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith(
+            "r9_bad_driver.py"
+        )
+        assert location["region"]["startLine"] == 16
+        assert location["region"]["startColumn"] >= 1
+        assert "fix:" in result["message"]["text"]
+
+
+class TestExplain:
+    def test_explain_renders_rationale_and_examples(self, capsys):
+        assert main(["lint", "--explain", "R9"]) == 0
+        out = capsys.readouterr().out
+        assert "R9" in out
+        assert "whole-program rule" in out
+        assert "Bad:" in out
+        assert "Good:" in out
+        assert "repro-lint: disable=R9" in out
+
+    def test_explain_syntactic_rule(self, capsys):
+        assert main(["lint", "--explain", "r1"]) == 0
+        out = capsys.readouterr().out
+        assert "R1" in out
+        assert "per-file rule" in out
+
+    def test_explain_unknown_rule_fails(self, capsys):
+        assert main(["lint", "--explain", "R99"]) == 1
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_stats_go_to_stderr_and_name_stages(self, capsys):
+        code = main(
+            [
+                "lint",
+                str(FIXTURES / "deep" / "r7_good"),
+                "--deep",
+                "--stats",
+                "--format",
+                "json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "lint stats:" in captured.err
+        for stage in (
+            "parse",
+            "syntactic-rules",
+            "project-model",
+            "taint-fixpoint",
+            "deep-rules",
+        ):
+            assert stage in captured.err
+        assert "fixpoint_iterations=" in captured.err
+        # stdout stays machine-readable despite --stats
+        payload = json.loads(captured.out)
+        assert payload["findings"] == []
+
+    def test_shallow_stats_skip_deep_stages(self, capsys):
+        code = main(
+            ["lint", str(FIXTURES / "r1_good.py"), "--stats"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "parse" in captured.err
+        assert "taint-fixpoint" not in captured.err

@@ -148,6 +148,10 @@ class TestBaseline:
 class TestEngine:
     def test_unknown_rule_id_rejected(self):
         with pytest.raises(AnalysisError, match="unknown rule"):
+            run_lint([FIXTURES / "r1_bad.py"], rules=["R99"])
+
+    def test_deep_rule_needs_deep_flag(self):
+        with pytest.raises(AnalysisError, match="re-run with --deep"):
             run_lint([FIXTURES / "r1_bad.py"], rules=["R9"])
 
     def test_missing_path_rejected(self, tmp_path):

@@ -1,0 +1,174 @@
+"""The project model: resolution, hierarchy, and build determinism.
+
+The determinism property is the load-bearing one: the deep findings
+(and the CI gate built on them) are only trustworthy if the model —
+and everything derived from it — is identical for a given file set
+regardless of the order files are discovered in.  A hypothesis shuffle
+test pins that end to end, down to the rendered findings.
+"""
+
+import ast
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dataflow import (
+    analyze_project,
+    build_call_graph,
+    build_project,
+    run_deep_rules,
+)
+from repro.analysis.dataflow.model import module_name_for
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+DEEP = FIXTURES / "deep"
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def rows_for(paths):
+    rows = []
+    for path in paths:
+        source = path.read_text(encoding="utf-8")
+        rows.append(
+            (
+                path,
+                path.relative_to(FIXTURES).as_posix(),
+                source,
+                ast.parse(source),
+            )
+        )
+    return rows
+
+
+def deep_fixture_rows():
+    return rows_for(sorted(DEEP.rglob("*.py")))
+
+
+def synth_rows(modules):
+    return [
+        (
+            Path(f"/nonexistent/{name}.py"),
+            f"{name}.py",
+            source,
+            ast.parse(source),
+        )
+        for name, source in modules.items()
+    ]
+
+
+class TestModuleNaming:
+    def test_package_files_get_dotted_names(self):
+        assert (
+            module_name_for(REPO_SRC / "repro" / "util" / "rng.py")
+            == "repro.util.rng"
+        )
+
+    def test_package_init_names_the_package(self):
+        assert (
+            module_name_for(
+                REPO_SRC / "repro" / "analysis" / "__init__.py"
+            )
+            == "repro.analysis"
+        )
+
+    def test_free_standing_file_is_its_stem(self):
+        assert (
+            module_name_for(DEEP / "r7_bad" / "r7_bad_train.py")
+            == "r7_bad_train"
+        )
+
+
+class TestResolution:
+    def test_reexport_chain_squeezes_to_definer(self):
+        project = build_project(
+            synth_rows(
+                {
+                    "origin": "def make_thing():\n    return 1\n",
+                    "middle": "from origin import make_thing as mt\n",
+                    "outer": "from middle import mt\n",
+                }
+            )
+        )
+        assert (
+            project.resolve("outer", ("mt",)) == "origin.make_thing"
+        )
+
+    def test_method_resolution_walks_bases_across_modules(self):
+        project = build_project(
+            synth_rows(
+                {
+                    "basemod": (
+                        "class Base:\n"
+                        "    def step(self):\n"
+                        "        return 0\n"
+                    ),
+                    "derivedmod": (
+                        "from basemod import Base\n"
+                        "class Derived(Base):\n"
+                        "    pass\n"
+                    ),
+                }
+            )
+        )
+        method = project.resolve_method("derivedmod.Derived", "step")
+        assert method is not None
+        assert method.qualname == "basemod.Base.step"
+
+    def test_nested_imports_bind_too(self):
+        project = build_project(
+            synth_rows(
+                {
+                    "lazy": (
+                        "def use():\n"
+                        "    from origin import make_thing\n"
+                        "    return make_thing()\n"
+                    ),
+                    "origin": "def make_thing():\n    return 1\n",
+                }
+            )
+        )
+        assert (
+            project.resolve("lazy", ("make_thing",))
+            == "origin.make_thing"
+        )
+
+    def test_import_graph_only_links_scanned_modules(self):
+        project = build_project(
+            synth_rows(
+                {
+                    "uses": "import os\nfrom origin import make_thing\n",
+                    "origin": "def make_thing():\n    return 1\n",
+                }
+            )
+        )
+        assert project.import_graph()["uses"] == ("origin",)
+
+
+class TestBuildDeterminism:
+    @settings(max_examples=12, deadline=None)
+    @given(st.permutations(deep_fixture_rows()))
+    def test_model_fingerprint_is_input_order_independent(self, rows):
+        assert (
+            build_project(rows).fingerprint()
+            == build_project(deep_fixture_rows()).fingerprint()
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.permutations(deep_fixture_rows()))
+    def test_findings_are_input_order_independent(self, rows):
+        project = build_project(rows)
+        shuffled = run_deep_rules(project, analyze_project(project))
+        baseline_project = build_project(deep_fixture_rows())
+        baseline = run_deep_rules(
+            baseline_project, analyze_project(baseline_project)
+        )
+        assert shuffled == baseline
+
+    def test_call_graph_fingerprint_stable_across_builds(self):
+        first = build_call_graph(build_project(deep_fixture_rows()))
+        second = build_call_graph(build_project(deep_fixture_rows()))
+        assert first.fingerprint() == second.fingerprint()
+        assert "r7_bad_train.train -> r7_bad_pool.dispatch" in (
+            first.fingerprint()
+        )
