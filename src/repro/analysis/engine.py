@@ -24,16 +24,34 @@ from repro.analysis.baseline import Baseline
 from repro.analysis.findings import Finding
 from repro.analysis.rules import DeepRule, LintRule, attach_parents, resolve_rules
 from repro.analysis.suppressions import split_suppressed
-from repro.analysis.telemetry import LintStats, StageTimer
+from repro.analysis.telemetry import BudgetClock, LintStats, StageTimer
 from repro.errors import ReproError
 
-__all__ = ["AnalysisError", "LintReport", "run_lint"]
+__all__ = [
+    "AnalysisError",
+    "BudgetExceededError",
+    "LintReport",
+    "run_lint",
+]
 
 PathLike = Union[str, Path]
 
 
 class AnalysisError(ReproError):
     """A scanned file could not be read or parsed."""
+
+
+class BudgetExceededError(AnalysisError):
+    """The run overran ``budget_seconds``.
+
+    Carries the :class:`~repro.analysis.telemetry.LintStats` collected
+    up to the overrunning stage, so callers can report *which* stage
+    blew the budget instead of a bare timeout.
+    """
+
+    def __init__(self, message: str, stats: LintStats) -> None:
+        super().__init__(message)
+        self.stats = stats
 
 
 @dataclass(frozen=True)
@@ -117,11 +135,27 @@ def _parse_file(path: Path, display: str) -> _ParsedFile:
     return _ParsedFile(path=path, display=display, source=source, tree=tree)
 
 
+def _check_budget(
+    clock: BudgetClock,
+    stage: str,
+    timer: StageTimer,
+    stats: LintStats,
+) -> None:
+    if clock.exceeded():
+        stats.timings = dict(timer.seconds)
+        raise BudgetExceededError(
+            f"lint exceeded its {clock.budget_seconds:g}s budget after "
+            f"stage {stage!r} ({clock.elapsed():.2f}s elapsed)",
+            stats,
+        )
+
+
 def _run_deep_pass(
     parsed: Sequence[_ParsedFile],
     deep_rules: Sequence[DeepRule],
     timer: StageTimer,
     stats: LintStats,
+    clock: BudgetClock,
 ) -> List[Finding]:
     # Imported lazily so plain (shallow) lint runs never pay for the
     # dataflow machinery.
@@ -135,13 +169,16 @@ def _run_deep_pass(
         project = build_project(
             [(f.path, f.display, f.source, f.tree) for f in parsed]
         )
-    with timer.stage("taint-fixpoint"):
-        state = analyze_project(project)
-    with timer.stage("deep-rules"):
-        findings = run_deep_rules(project, state, deep_rules)
     stats.modules = len(project.modules)
     stats.functions = len(project.functions)
+    _check_budget(clock, "project-model", timer, stats)
+    with timer.stage("taint-fixpoint"):
+        state = analyze_project(project)
     stats.fixpoint_iterations = state.iterations
+    _check_budget(clock, "taint-fixpoint", timer, stats)
+    with timer.stage("deep-rules"):
+        findings = run_deep_rules(project, state, deep_rules)
+    _check_budget(clock, "deep-rules", timer, stats)
     return findings
 
 
@@ -153,6 +190,7 @@ def run_lint(
     root: Optional[PathLike] = None,
     deep: bool = False,
     stats: bool = False,
+    budget_seconds: Optional[float] = None,
 ) -> LintReport:
     """Lint ``paths`` (files and/or directory trees).
 
@@ -176,7 +214,16 @@ def run_lint(
         the scanned file set.
     stats:
         Collect per-stage timing into ``LintReport.stats``.
+    budget_seconds:
+        Wall-clock ceiling for the whole run.  Checked between stages
+        (a stage is never interrupted); on overrun the run fails with
+        :class:`BudgetExceededError` carrying the per-stage timings
+        collected so far, instead of an opaque external ``timeout``.
     """
+    if budget_seconds is not None and budget_seconds <= 0:
+        raise AnalysisError(
+            f"budget_seconds must be positive, got {budget_seconds}"
+        )
     try:
         enabled = resolve_rules(rules, deep=deep)
     except ValueError as exc:
@@ -186,6 +233,7 @@ def run_lint(
     root_path = Path(root) if root is not None else None
     timer = StageTimer()
     run_stats = LintStats()
+    clock = BudgetClock(budget_seconds)
 
     parsed: List[_ParsedFile] = []
     with timer.stage("parse"):
@@ -194,6 +242,7 @@ def run_lint(
                 _parse_file(path, _display_path(path, root_path))
             )
     run_stats.files = len(parsed)
+    _check_budget(clock, "parse", timer, run_stats)
 
     by_display: Dict[str, List[Finding]] = {}
     with timer.stage("syntactic-rules"):
@@ -202,10 +251,11 @@ def run_lint(
             for rule in syntactic:
                 file_findings.extend(rule.check(item.tree, item.display))
             by_display[item.display] = file_findings
+    _check_budget(clock, "syntactic-rules", timer, run_stats)
 
     if deep and deep_rules:
         for finding in _run_deep_pass(
-            parsed, deep_rules, timer, run_stats
+            parsed, deep_rules, timer, run_stats, clock
         ):
             # Deep findings always anchor at a scanned module, so the
             # display key exists; anything else would be a rule bug —

@@ -12,9 +12,9 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
 
-__all__ = ["LintStats", "StageTimer"]
+__all__ = ["BudgetClock", "LintStats", "StageTimer"]
 
 
 class StageTimer:
@@ -35,6 +35,32 @@ class StageTimer:
 
     def total(self) -> float:
         return sum(self.seconds.values())
+
+
+class BudgetClock:
+    """Wall-clock budget enforcement for one lint run.
+
+    The engine checks :meth:`exceeded` between stages (a stage is never
+    interrupted mid-flight, so a report is either complete or the run
+    fails loudly with the timings gathered so far).  Clock reads live
+    here rather than in the engine so the analyzer itself stays within
+    the rule-R3 allowlist it enforces.
+    """
+
+    def __init__(self, budget_seconds: Optional[float] = None) -> None:
+        self.budget_seconds = budget_seconds
+        self._start = perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since the clock was created."""
+        return perf_counter() - self._start
+
+    def exceeded(self) -> bool:
+        """True once the run has overrun its budget (never, if unset)."""
+        return (
+            self.budget_seconds is not None
+            and self.elapsed() > self.budget_seconds
+        )
 
 
 @dataclass

@@ -166,6 +166,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=sorted(_SCALES), default="default"
     )
 
+    export = commands.add_parser(
+        "export-policy",
+        help="convert a JSON policy to the zero-copy binary serving format",
+    )
+    export.add_argument("--policy", required=True, help="JSON policy path")
+    export.add_argument("--out", required=True, help="binary output path")
+    export.add_argument(
+        "--verify",
+        action="store_true",
+        help="reload the binary file and check every rule decides "
+        "identically to the JSON policy before reporting success",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve (error_type, state) -> action lookups from a policy",
+    )
+    serve.add_argument(
+        "--policy",
+        required=True,
+        help="policy file: binary (memory-mapped) or JSON",
+    )
+    workload = serve.add_mutually_exclusive_group(required=True)
+    workload.add_argument(
+        "--queries",
+        help="answer state records from this JSONL file "
+        '({"error_type": ..., "tried": [...]} per line)',
+    )
+    workload.add_argument(
+        "--storm",
+        type=int,
+        metavar="N",
+        help="run a synthetic N-query storm sampled from the rule table",
+    )
+    workload.add_argument(
+        "--fleet-machines",
+        type=int,
+        metavar="N",
+        help="run a simulated N-machine fleet whose decide waves query "
+        "the server",
+    )
+    serve.add_argument(
+        "--out",
+        default=None,
+        help="with --queries: write JSONL answers here (default: stdout)",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=1024,
+        help="micro-batch size for storm and query serving",
+    )
+    serve.add_argument(
+        "--unknown-fraction",
+        type=float,
+        default=0.1,
+        help="with --storm: fraction of queries guaranteed to miss the "
+        "rule table and exercise the fallback",
+    )
+    serve.add_argument(
+        "--fleet-days",
+        type=float,
+        default=5.0,
+        help="with --fleet-machines: simulated days of fleet operation",
+    )
+    serve.add_argument("--seed", type=int, default=7)
+
     lint = commands.add_parser(
         "lint",
         help="run the determinism-contract analyzer (rules R1-R10)",
@@ -208,6 +275,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print per-stage timing to stderr",
+    )
+    lint.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="fail if the run exceeds this wall-clock budget, printing "
+        "the per-stage timings gathered so far",
     )
     return parser
 
@@ -385,6 +460,136 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_export_policy(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.policies.serialization import save_policy_binary
+
+    policy = load_policy(args.policy)
+    count = save_policy_binary(policy, args.out)
+    size = Path(args.out).stat().st_size
+    print(f"exported {count:,} rules to {args.out} ({size:,} bytes)")
+    if args.verify:
+        from repro.policies.serialization import load_policy_binary
+
+        reloaded = load_policy_binary(args.out, verify=True)
+        if reloaded.to_trained().rules != policy.rules:
+            print(
+                "error: binary decisions diverge from the JSON policy",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"verified: all {count:,} rules decide identically")
+    return 0
+
+
+def _serving_policy(path: str):
+    """Load a serving policy: binary containers memory-map, JSON parses."""
+    from repro.policies.serialization import load_policy_binary
+
+    with open(path, "rb") as handle:
+        magic = handle.read(8)
+    if magic == b"RPROPOLB":
+        return load_policy_binary(path)
+    return load_policy(path)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.policies.serialization import state_from_record
+    from repro.serving import (
+        DecisionServer,
+        fleet_storm,
+        run_storm,
+        storm_states,
+    )
+
+    policy = _serving_policy(args.policy)
+    server = DecisionServer(policy, UserDefinedPolicy(default_catalog()))
+    print(
+        f"serving {len(policy):,} rules ({policy.name!r}) "
+        f"from {args.policy}",
+        file=sys.stderr,
+    )
+
+    if args.queries is not None:
+        answered = 0
+        out_handle = (
+            open(args.out, "w", encoding="utf-8")
+            if args.out
+            else sys.stdout
+        )
+        try:
+            with open(args.queries, "r", encoding="utf-8") as queries:
+                batch = []
+                for line in queries:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    batch.append(state_from_record(json_module.loads(line)))
+                    if len(batch) >= args.batch_size:
+                        answered += _serve_batch(server, batch, out_handle)
+                        batch = []
+                if batch:
+                    answered += _serve_batch(server, batch, out_handle)
+        finally:
+            if args.out:
+                out_handle.close()
+        print(
+            f"answered {answered:,} queries "
+            f"({server.fallback_count:,} via fallback)",
+            file=sys.stderr if not args.out else sys.stdout,
+        )
+        return 0
+
+    if args.storm is not None:
+        states = storm_states(
+            policy,
+            args.storm,
+            unknown_fraction=args.unknown_fraction,
+            seed=args.seed,
+        )
+        report = run_storm(server, states, batch_size=args.batch_size)
+        print(report.render())
+        return 0
+
+    result = fleet_storm(
+        server,
+        machines=args.fleet_machines,
+        days=args.fleet_days,
+        seed=args.seed,
+    )
+    print(
+        f"fleet storm: {result.machines:,} machines x "
+        f"{result.days:g} days -> {result.decisions:,} decisions "
+        f"({result.processes:,} recoveries, "
+        f"{result.fallbacks:,} fallbacks)"
+    )
+    versions = ", ".join(
+        f"v{version}: {count:,}" for version, count in result.versions.items()
+    )
+    print(f"decisions by policy generation: {versions}")
+    return 0
+
+
+def _serve_batch(server, batch, out_handle) -> int:
+    import json as json_module
+
+    for state, decision in zip(batch, server.decide_batch(batch)):
+        record = {
+            "error_type": state.error_type,
+            "tried": list(state.tried),
+            "action": decision.action,
+            "source": decision.source,
+            "expected_cost": decision.expected_cost,
+            "version": decision.version,
+            "fell_back": decision.fell_back,
+        }
+        out_handle.write(json_module.dumps(record) + "\n")
+    return len(batch)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -396,6 +601,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         render_text,
         run_lint,
     )
+    from repro.analysis.engine import BudgetExceededError
     from repro.errors import ConfigurationError
 
     if args.explain:
@@ -410,14 +616,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     baseline = None
     if args.baseline and not args.update_baseline:
         baseline = Baseline.load(args.baseline)
-    report = run_lint(
-        paths,
-        rules=rules,
-        baseline=baseline,
-        root=Path.cwd(),
-        deep=args.deep,
-        stats=args.stats,
-    )
+    try:
+        report = run_lint(
+            paths,
+            rules=rules,
+            baseline=baseline,
+            root=Path.cwd(),
+            deep=args.deep,
+            stats=args.stats,
+            budget_seconds=args.budget_seconds,
+        )
+    except BudgetExceededError as exc:
+        print(exc.stats.render(), file=sys.stderr)
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if args.stats and report.stats is not None:
         # stderr, so --format json/sarif stdout stays machine-readable
         print(report.stats.render(), file=sys.stderr)
@@ -449,6 +661,8 @@ _HANDLERS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "experiment": _cmd_experiment,
+    "export-policy": _cmd_export_policy,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
 }
 

@@ -13,7 +13,7 @@ policy atomically.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Callable, Deque, List, Optional
 
 from repro.actions.action import ActionCatalog, default_catalog
 from repro.core.config import PipelineConfig
@@ -86,6 +86,7 @@ class RollingRetrainer:
         self._retrain_count = 0
         self._learner: Optional[RecoveryPolicyLearner] = None
         self._policy: Policy = self.fallback
+        self._subscribers: List[Callable[[Policy], None]] = []
 
     # ------------------------------------------------------------------
     @property
@@ -106,6 +107,16 @@ class RollingRetrainer:
     def current_policy(self) -> Policy:
         """The currently deployed policy (hybrid once trained)."""
         return self._policy
+
+    def subscribe(self, callback: Callable[[Policy], None]) -> None:
+        """Register a publication hook, called after every policy swap.
+
+        This is how a :class:`~repro.serving.server.DecisionServer`
+        hot-reloads: each successful :meth:`retrain` invokes every
+        subscriber (in subscription order) with the newly deployed
+        policy, after the in-process swap has happened.
+        """
+        self._subscribers.append(callback)
 
     def recover(
         self,
@@ -157,4 +168,6 @@ class RollingRetrainer:
         self._policy = policy
         self._since_retrain = 0
         self._retrain_count += 1
+        for callback in self._subscribers:
+            callback(policy)
         return policy

@@ -11,12 +11,15 @@
 """
 
 from repro.policies.base import Policy, PolicyDecision
+from repro.policies.binary import ArrayTrainedPolicy
 from repro.policies.hybrid import HybridPolicy
 from repro.policies.index_policy import action_indices, design_index_policy
 from repro.policies.serialization import (
     load_policy,
+    load_policy_binary,
     load_qtable,
     save_policy,
+    save_policy_binary,
     save_qtable,
 )
 from repro.policies.static import (
@@ -31,6 +34,9 @@ from repro.policies.user_defined import UserDefinedPolicy
 __all__ = [
     "save_policy",
     "load_policy",
+    "save_policy_binary",
+    "load_policy_binary",
+    "ArrayTrainedPolicy",
     "save_qtable",
     "load_qtable",
     "action_indices",

@@ -2,9 +2,14 @@
 
 A deployed recovery framework trains offline and ships the generated
 rules to the online recovery component (Figure 1's dashed arrow), so the
-rule tables must round-trip through storage.  The JSON schema is stable
-and human-auditable — operators can review exactly which action the
-policy will take in which state before deploying it.
+rule tables must round-trip through storage.  Two formats exist:
+
+* the JSON schema here — stable and human-auditable, so operators can
+  review exactly which action the policy will take in which state
+  before deploying it;
+* the zero-copy binary container in :mod:`repro.policies.binary`
+  (re-exported below) — what the decision server memory-maps, with
+  decisions bit-identical to the JSON-loaded policy.
 """
 
 from __future__ import annotations
@@ -17,11 +22,17 @@ from repro.errors import LogFormatError
 from repro.learning.qtable import QTableBackend
 from repro.learning.qtable_array import create_qtable
 from repro.mdp.state import RecoveryState
+from repro.policies.binary import (
+    load_policy_binary,
+    save_policy_binary,
+)
 from repro.policies.trained import TrainedPolicy
 
 __all__ = [
     "save_policy",
     "load_policy",
+    "save_policy_binary",
+    "load_policy_binary",
     "save_qtable",
     "load_qtable",
     "state_to_record",

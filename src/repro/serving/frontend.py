@@ -1,0 +1,159 @@
+"""The thread-pooled front end: micro-batching concurrent lookups.
+
+A fleet does not arrive as tidy batches — monitors on a million
+machines each ask one question.  :class:`ServingFrontend` turns that
+storm of single lookups back into the server's vectorized
+``decide_batch`` path: callers submit states and block on a future; a
+dispatcher thread greedily drains whatever has queued up (up to
+``max_batch``) and answers the whole group with one snapshot-consistent
+batch lookup.  Under light load a lookup is served alone immediately;
+under heavy load batches grow toward ``max_batch`` and per-decision
+overhead amortizes away — no timer-based batching window is needed,
+so an idle service adds no latency.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.mdp.state import RecoveryState
+from repro.serving.server import DecisionServer, ServedDecision
+
+__all__ = ["ServingFrontend"]
+
+_SHUTDOWN = object()
+
+
+class ServingFrontend:
+    """Micro-batches concurrent single lookups onto one decision server.
+
+    Parameters
+    ----------
+    server:
+        The :class:`~repro.serving.server.DecisionServer` to serve from.
+    max_batch:
+        Largest group of queued lookups answered in one
+        ``decide_batch`` call.
+    """
+
+    def __init__(self, server: DecisionServer, *, max_batch: int = 256) -> None:
+        if max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {max_batch}"
+            )
+        self._server = server
+        self._max_batch = max_batch
+        self._queue: "queue.SimpleQueue[object]" = queue.SimpleQueue()
+        self._submit_lock = threading.Lock()
+        self._closed = False
+        self._served_batches = 0
+        self._served_decisions = 0
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serving-dispatcher",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def server(self) -> DecisionServer:
+        return self._server
+
+    @property
+    def batch_count(self) -> int:
+        """Micro-batches dispatched so far."""
+        return self._served_batches
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average lookups answered per dispatched batch."""
+        if self._served_batches == 0:
+            return 0.0
+        return self._served_decisions / self._served_batches
+
+    # ------------------------------------------------------------------
+    def submit(self, state: RecoveryState) -> "Future[ServedDecision]":
+        """Enqueue one lookup; resolves when its micro-batch is served."""
+        future: "Future[ServedDecision]" = Future()
+        with self._submit_lock:
+            if self._closed:
+                raise ConfigurationError(
+                    "cannot submit to a closed serving frontend"
+                )
+            self._queue.put((state, future))
+        return future
+
+    def decide(self, state: RecoveryState) -> ServedDecision:
+        """Blocking single lookup through the micro-batching path."""
+        return self.submit(state).result()
+
+    def decide_many(
+        self, states: Sequence[RecoveryState]
+    ) -> List[ServedDecision]:
+        """Submit many lookups concurrently and gather their answers."""
+        futures = [self.submit(state) for state in states]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        # The close() sentinel is enqueued under the submit lock after
+        # the closed flag is set, so it is always the queue's final
+        # item: whenever it surfaces, everything submitted before it
+        # has already been batched.
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            batch: List[Tuple[RecoveryState, "Future[ServedDecision]"]] = [
+                item  # type: ignore[list-item]
+            ]
+            stop = False
+            while len(batch) < self._max_batch:
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _SHUTDOWN:
+                    stop = True
+                    break
+                batch.append(nxt)  # type: ignore[arg-type]
+            self._serve(batch)
+            if stop:
+                return
+
+    def _serve(
+        self, batch: List[Tuple[RecoveryState, "Future[ServedDecision]"]]
+    ) -> None:
+        if not batch:
+            return
+        states = [state for state, _future in batch]
+        try:
+            decisions = self._server.decide_batch(states)
+        except Exception as exc:  # propagate to every waiter
+            for _state, future in batch:
+                future.set_exception(exc)
+            return
+        self._served_batches += 1
+        self._served_decisions += len(batch)
+        for (_state, future), decision in zip(batch, decisions):
+            future.set_result(decision)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the dispatcher after serving everything already queued."""
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(_SHUTDOWN)
+        self._dispatcher.join()
+
+    def __enter__(self) -> "ServingFrontend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

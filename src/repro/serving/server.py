@@ -1,0 +1,256 @@
+"""The decision server: policy lookups with atomic hot reload.
+
+One :class:`DecisionServer` owns the currently deployed
+:class:`PolicyVersion` — an immutable bundle of primary policy,
+fallback and version number.  Readers take one snapshot reference per
+call and answer every state in the call from that snapshot, so a
+concurrent :meth:`DecisionServer.publish` can never expose a torn
+table: a batch is answered entirely by version ``n`` or entirely by
+version ``n + 1``, never a mix.  Publication itself is a single
+reference assignment under the writer lock (reference swaps are atomic
+under the interpreter), which is the same swap discipline
+:class:`~repro.core.online.RollingRetrainer` uses in-process.
+
+Unknown states degrade to the fallback policy — exactly the paper's
+hybrid semantics (Section 3.4): the served system repairs every error
+the user-defined policy repairs while keeping the trained policy's
+savings on the common cases.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.actions.action import default_catalog
+from repro.errors import ConfigurationError, UnhandledStateError
+from repro.mdp.state import RecoveryState
+from repro.policies.base import Policy
+from repro.policies.hybrid import HybridPolicy
+from repro.policies.user_defined import UserDefinedPolicy
+
+__all__ = ["DecisionServer", "PolicyVersion", "ServedDecision"]
+
+
+@dataclass(frozen=True)
+class PolicyVersion:
+    """One immutable deployed policy generation.
+
+    Attributes
+    ----------
+    version:
+        Monotonically increasing generation number (1 = the policy the
+        server started with).
+    primary:
+        The trained policy consulted first.
+    fallback:
+        The proper policy consulted when ``primary`` has no rule.
+    """
+
+    version: int
+    primary: Policy
+    fallback: Policy
+
+
+@dataclass(frozen=True)
+class ServedDecision:
+    """A server answer: the chosen action plus serving provenance.
+
+    ``source`` follows the hybrid convention
+    (``"serving:<policy name>"``); ``fell_back`` says whether the
+    primary policy missed and the fallback decided; ``version`` is the
+    policy generation that answered, so a client can detect mid-stream
+    hot reloads.
+    """
+
+    action: str
+    source: str
+    expected_cost: Optional[float]
+    version: int
+    fell_back: bool
+
+
+class DecisionServer:
+    """Serves ``(error_type, state) -> action`` lookups under hot reload.
+
+    Parameters
+    ----------
+    policy:
+        The initial primary policy (a
+        :class:`~repro.policies.binary.ArrayTrainedPolicy` for the
+        zero-copy serving path, or any other deterministic policy).
+    fallback:
+        The proper fallback; defaults to the paper's
+        :class:`~repro.policies.user_defined.UserDefinedPolicy` over the
+        default catalog.  Must be able to act in every non-terminal
+        state.
+    """
+
+    def __init__(
+        self, policy: Policy, fallback: Optional[Policy] = None
+    ) -> None:
+        if fallback is None:
+            fallback = UserDefinedPolicy(default_catalog())
+        self._write_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._current = PolicyVersion(
+            version=1, primary=policy, fallback=fallback
+        )
+        self._decisions = 0
+        self._fallbacks = 0
+        self._batches = 0
+        self._by_version: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> PolicyVersion:
+        """The currently deployed generation (one atomic read)."""
+        return self._current
+
+    @property
+    def version(self) -> int:
+        """The deployed generation number."""
+        return self._current.version
+
+    @property
+    def decision_count(self) -> int:
+        """Total decisions served across all generations."""
+        return self._decisions
+
+    @property
+    def fallback_count(self) -> int:
+        """Decisions that degraded to the fallback policy."""
+        return self._fallbacks
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of decisions the fallback answered."""
+        if self._decisions == 0:
+            return 0.0
+        return self._fallbacks / self._decisions
+
+    def decisions_by_version(self) -> Dict[int, int]:
+        """``{generation: decisions served}`` in generation order."""
+        with self._stats_lock:
+            return {v: self._by_version[v] for v in sorted(self._by_version)}
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def _decision(
+        self, current: PolicyVersion, state: RecoveryState
+    ) -> ServedDecision:
+        try:
+            choice = current.primary.decide(state)
+            fell_back = False
+        except UnhandledStateError:
+            choice = current.fallback.decide(state)
+            fell_back = True
+        return ServedDecision(
+            action=choice.action,
+            source=f"serving:{choice.source}",
+            expected_cost=choice.expected_cost,
+            version=current.version,
+            fell_back=fell_back,
+        )
+
+    def decide(self, state: RecoveryState) -> ServedDecision:
+        """Answer one lookup from the current generation."""
+        if state.is_terminal:
+            raise ConfigurationError(
+                f"cannot decide an action in terminal state {state}"
+            )
+        current = self._current
+        decision = self._decision(current, state)
+        with self._stats_lock:
+            self._decisions += 1
+            self._fallbacks += 1 if decision.fell_back else 0
+            self._by_version[current.version] = (
+                self._by_version.get(current.version, 0) + 1
+            )
+        return decision
+
+    def decide_batch(
+        self, states: Sequence[RecoveryState]
+    ) -> List[ServedDecision]:
+        """Answer a whole wave of lookups from *one* generation.
+
+        The snapshot is taken once, before the first lookup, so every
+        decision in the returned list carries the same ``version`` even
+        when a publish lands mid-batch.
+        """
+        current = self._current
+        primary = current.primary.decide_batch(states)
+        source_hit = f"serving:{current.primary.name}"
+        results: List[ServedDecision] = []
+        fallbacks = 0
+        for state, outcome in zip(states, primary):
+            if isinstance(outcome, UnhandledStateError):
+                fallbacks += 1
+                choice = current.fallback.decide(state)
+                results.append(
+                    ServedDecision(
+                        action=choice.action,
+                        source=f"serving:{choice.source}",
+                        expected_cost=choice.expected_cost,
+                        version=current.version,
+                        fell_back=True,
+                    )
+                )
+            else:
+                results.append(
+                    ServedDecision(
+                        action=outcome.action,
+                        source=source_hit,
+                        expected_cost=outcome.expected_cost,
+                        version=current.version,
+                        fell_back=False,
+                    )
+                )
+        with self._stats_lock:
+            self._decisions += len(results)
+            self._fallbacks += fallbacks
+            self._batches += 1
+            self._by_version[current.version] = (
+                self._by_version.get(current.version, 0) + len(results)
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Hot reload
+    # ------------------------------------------------------------------
+    def publish(
+        self, policy: Policy, *, fallback: Optional[Policy] = None
+    ) -> PolicyVersion:
+        """Atomically deploy a new primary policy (and optional fallback).
+
+        Readers that already hold a snapshot finish on the old
+        generation; every call that starts after the swap sees the new
+        one.  Returns the deployed :class:`PolicyVersion`.
+        """
+        with self._write_lock:
+            previous = self._current
+            version = PolicyVersion(
+                version=previous.version + 1,
+                primary=policy,
+                fallback=fallback if fallback is not None else previous.fallback,
+            )
+            self._current = version
+        return version
+
+    def attach_retrainer(self, retrainer) -> None:
+        """Hot-reload from a retrainer's policy publications.
+
+        Subscribes to :class:`~repro.core.online.RollingRetrainer`
+        publications; hybrid policies are unbundled so the server keeps
+        owning the fallback routing (and its fallback statistics).
+        """
+        retrainer.subscribe(self._on_retrained)
+
+    def _on_retrained(self, policy: Policy) -> None:
+        if isinstance(policy, HybridPolicy):
+            self.publish(policy.trained, fallback=policy.fallback)
+        else:
+            self.publish(policy)

@@ -1,0 +1,67 @@
+"""Latency and throughput measurement for the decision service.
+
+Timing the serving path is diagnostic output, not simulated behavior,
+so the wall-clock contract (rule R3) does not apply — this module lives
+under the ``*/telemetry.py`` allowlist for exactly that reason.  The
+load generator and the CLI drive their measurement loops through
+:class:`LatencyRecorder` so no clock read ever leaks into simulation
+code.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator, List
+
+__all__ = ["LatencyRecorder"]
+
+
+class LatencyRecorder:
+    """Accumulates per-call latencies and the decisions they answered."""
+
+    def __init__(self) -> None:
+        self._latencies: List[float] = []
+        self._decisions = 0
+
+    @contextmanager
+    def observe(self, decisions: int = 1) -> Iterator[None]:
+        """Time one serving call answering ``decisions`` lookups."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self._latencies.append(perf_counter() - start)
+            self._decisions += decisions
+
+    @property
+    def call_count(self) -> int:
+        """Timed serving calls."""
+        return len(self._latencies)
+
+    @property
+    def decision_count(self) -> int:
+        """Decisions answered across all timed calls."""
+        return self._decisions
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock seconds spent inside timed calls."""
+        return sum(self._latencies)
+
+    def decisions_per_second(self) -> float:
+        """Aggregate serving throughput over the timed calls."""
+        total = self.total_seconds
+        if total <= 0.0:
+            return 0.0
+        return self._decisions / total
+
+    def percentile(self, fraction: float) -> float:
+        """The latency (seconds) at ``fraction`` (0..1), nearest-rank."""
+        if not self._latencies:
+            return 0.0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        ranked = sorted(self._latencies)
+        rank = min(len(ranked) - 1, max(0, round(fraction * len(ranked)) - 1))
+        return ranked[rank]

@@ -232,3 +232,39 @@ class TestRecover:
         assert outcome.cost == expected.cost
         assert outcome.trace.origin == "online"
         assert recorder.by_origin("online") == (outcome.trace,)
+
+
+class TestSubscribers:
+    def test_subscribers_called_on_every_retrain(self):
+        published = []
+        retrainer = RollingRetrainer(
+            CATALOG, fast_config(),
+            window=200, retrain_every=60, min_history=60,
+        )
+        retrainer.subscribe(published.append)
+        for process in era(True, count=60):
+            retrainer.observe(process)
+        assert len(published) == retrainer.retrain_count > 0
+        # Subscribers receive exactly what was deployed, post-swap.
+        assert published[-1] is retrainer.current_policy()
+
+    def test_subscribers_in_registration_order(self):
+        order = []
+        retrainer = RollingRetrainer(
+            CATALOG, fast_config(),
+            window=200, retrain_every=60, min_history=60,
+        )
+        retrainer.subscribe(lambda _p: order.append("first"))
+        retrainer.subscribe(lambda _p: order.append("second"))
+        for process in era(True, count=60):
+            if retrainer.observe(process):
+                break
+        assert order == ["first", "second"]
+
+    def test_failed_retrain_publishes_nothing(self):
+        published = []
+        retrainer = RollingRetrainer(CATALOG, fast_config())
+        retrainer.subscribe(published.append)
+        with pytest.raises(TrainingError):
+            retrainer.retrain()
+        assert published == []

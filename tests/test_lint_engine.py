@@ -208,3 +208,53 @@ class TestReporting:
             Finding.from_dict(entry) for entry in payload["findings"]
         ]
         assert tuple(rebuilt) == report.findings
+
+
+class TestBudget:
+    def test_generous_budget_passes_through(self):
+        report = run_lint(
+            [FIXTURES / "r1_bad.py"],
+            root=FIXTURES,
+            budget_seconds=120.0,
+            stats=True,
+        )
+        assert report.stats is not None
+        assert report.stats.files == 1
+
+    def test_overrun_raises_with_partial_stats(self):
+        from repro.analysis.engine import BudgetExceededError
+
+        # An impossibly small budget trips the first between-stage
+        # check (a stage is never interrupted mid-flight).
+        with pytest.raises(BudgetExceededError) as excinfo:
+            run_lint(
+                [FIXTURES / "r1_bad.py"],
+                root=FIXTURES,
+                budget_seconds=1e-9,
+            )
+        error = excinfo.value
+        assert "budget" in str(error)
+        assert "parse" in str(error)
+        assert "parse" in error.stats.timings
+
+    def test_overrun_is_an_analysis_error(self):
+        from repro.analysis.engine import BudgetExceededError
+
+        assert issubclass(BudgetExceededError, AnalysisError)
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(AnalysisError, match="budget_seconds"):
+            run_lint([FIXTURES / "r1_bad.py"], budget_seconds=0.0)
+
+    def test_deep_pass_checks_between_stages(self):
+        from repro.analysis.engine import BudgetExceededError
+
+        # Deep lint on a real fixture with a sub-parse budget still
+        # names the overrunning stage in the error.
+        with pytest.raises(BudgetExceededError, match="after stage"):
+            run_lint(
+                [FIXTURES / "r1_bad.py"],
+                root=FIXTURES,
+                deep=True,
+                budget_seconds=1e-9,
+            )

@@ -1,0 +1,114 @@
+"""Tests for the micro-batching serving frontend."""
+
+import threading
+
+import pytest
+
+from repro.actions import default_catalog
+from repro.errors import ConfigurationError
+from repro.mdp.state import RecoveryState
+from repro.policies.trained import TrainedPolicy
+from repro.policies.user_defined import UserDefinedPolicy
+from repro.serving import DecisionServer, ServingFrontend
+
+S0 = RecoveryState.initial("error:X")
+S1 = S0.after("REIMAGE", False)
+UNKNOWN = RecoveryState.initial("error:never-seen")
+
+
+@pytest.fixture
+def server():
+    trained = TrainedPolicy(
+        {S0: ("REIMAGE", 7200.0), S1: ("RMA", 172800.0)}, label="t1"
+    )
+    return DecisionServer(trained, UserDefinedPolicy(default_catalog()))
+
+
+class TestFrontend:
+    def test_single_decide(self, server):
+        with ServingFrontend(server) as frontend:
+            decision = frontend.decide(S0)
+        assert decision.action == "REIMAGE"
+        assert not decision.fell_back
+
+    def test_decide_many_preserves_order(self, server):
+        states = [S0, UNKNOWN, S1, S0] * 10
+        with ServingFrontend(server) as frontend:
+            decisions = frontend.decide_many(states)
+        assert len(decisions) == len(states)
+        assert [d.action for d in decisions[:4]] == [
+            "REIMAGE",
+            "TRYNOP",
+            "RMA",
+            "REIMAGE",
+        ]
+
+    def test_submit_returns_future(self, server):
+        with ServingFrontend(server) as frontend:
+            future = frontend.submit(UNKNOWN)
+            decision = future.result(timeout=5)
+        assert decision.fell_back
+
+    def test_concurrent_submitters_all_answered(self, server):
+        results = []
+        lock = threading.Lock()
+
+        def client(frontend, state, repeats):
+            for _ in range(repeats):
+                decision = frontend.decide(state)
+                with lock:
+                    results.append(decision.action)
+
+        with ServingFrontend(server, max_batch=8) as frontend:
+            threads = [
+                threading.Thread(
+                    target=client, args=(frontend, state, 25)
+                )
+                for state in (S0, S1, UNKNOWN)
+                for _ in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert len(results) == 150
+        assert set(results) == {"REIMAGE", "RMA", "TRYNOP"}
+
+    def test_batches_form_under_load(self, server):
+        with ServingFrontend(server, max_batch=64) as frontend:
+            futures = [frontend.submit(S0) for _ in range(256)]
+            for future in futures:
+                future.result(timeout=5)
+            assert frontend.batch_count >= 1
+            assert frontend.mean_batch_size >= 1.0
+
+    def test_submit_after_close_rejected(self, server):
+        frontend = ServingFrontend(server)
+        frontend.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            frontend.submit(S0)
+
+    def test_close_drains_pending_work(self, server):
+        frontend = ServingFrontend(server, max_batch=4)
+        futures = [frontend.submit(S0) for _ in range(100)]
+        frontend.close()
+        for future in futures:
+            assert future.result(timeout=5).action == "REIMAGE"
+
+    def test_close_idempotent(self, server):
+        frontend = ServingFrontend(server)
+        frontend.close()
+        frontend.close()
+
+    def test_bad_state_propagates_exception(self, server):
+        terminal = S0.after("REIMAGE", True)
+        with ServingFrontend(server) as frontend:
+            future = frontend.submit(terminal)
+            with pytest.raises(ConfigurationError, match="terminal"):
+                future.result(timeout=5)
+            # The dispatcher survives a poisoned batch.
+            assert frontend.decide(S0).action == "REIMAGE"
+
+    def test_max_batch_validated(self, server):
+        with pytest.raises(ConfigurationError, match="max_batch"):
+            ServingFrontend(server, max_batch=0)
