@@ -29,10 +29,14 @@ from repro.policies import (
     TrainedPolicy,
     UserDefinedPolicy,
 )
+from repro.mining import StreamingMiner
 from repro.recoverylog import (
     LogEntry,
     RecoveryLog,
     RecoveryProcess,
+    StreamingSegmenter,
+    iter_log_entries,
+    read_log,
     read_log_jsonl,
     read_log_text,
     write_log_jsonl,
@@ -76,10 +80,14 @@ __all__ = [
     "LogEntry",
     "RecoveryLog",
     "RecoveryProcess",
+    "read_log",
     "read_log_text",
     "write_log_text",
     "read_log_jsonl",
     "write_log_jsonl",
+    "iter_log_entries",
+    "StreamingSegmenter",
+    "StreamingMiner",
     "Environment",
     "EpisodeTelemetry",
     "EpisodeTrace",

@@ -29,11 +29,13 @@ from repro.evaluation.split import time_ordered_split
 from repro.learning.qlearning import QLearningConfig
 from repro.mining.clustering import coverage_curve
 from repro.mining.noise import filter_noise
+from repro.mining.streaming import mine_log_streaming
 from repro.policies.serialization import load_policy, save_policy
 from repro.policies.user_defined import UserDefinedPolicy
 from repro.recoverylog.io import (
-    read_log_jsonl,
-    read_log_text,
+    DEFAULT_CHUNK_SIZE,
+    LOG_FORMATS,
+    read_log,
     write_log_jsonl,
     write_log_text,
 )
@@ -90,18 +92,33 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = commands.add_parser(
         "inspect", help="summarize a recovery log"
     )
-    inspect.add_argument("--log", required=True)
+    _add_log_arguments(inspect)
 
     mine = commands.add_parser(
         "mine", help="mine symptom clusters and filter noise"
     )
-    mine.add_argument("--log", required=True)
+    _add_log_arguments(mine)
     mine.add_argument("--minp", type=float, default=0.1)
+    mine.add_argument(
+        "--stream",
+        action="store_true",
+        help="mine in bounded memory with the streaming pipeline "
+        "(chunked reads, emit-on-close segmentation, incremental "
+        "co-occurrence counts); results match the in-memory path",
+    )
+    mine.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_SIZE,
+        help="with --stream: entries read per chunk "
+        f"(default {DEFAULT_CHUNK_SIZE:,}; the output never depends "
+        "on this)",
+    )
 
     train = commands.add_parser(
         "train", help="learn a recovery policy from a log"
     )
-    train.add_argument("--log", required=True)
+    _add_log_arguments(train)
     train.add_argument("--out", required=True, help="policy JSON path")
     train.add_argument(
         "--fraction",
@@ -146,7 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
         "evaluate",
         help="evaluate a saved policy on the log's held-out remainder",
     )
-    evaluate.add_argument("--log", required=True)
+    _add_log_arguments(evaluate)
     evaluate.add_argument("--policy", required=True)
     evaluate.add_argument("--fraction", type=float, default=0.4)
 
@@ -287,10 +304,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _read_log(path: str):
-    if path.endswith(".jsonl") or path.endswith(".json"):
-        return read_log_jsonl(path)
-    return read_log_text(path)
+def _add_log_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared --log/--log-format pair for log-consuming commands."""
+    parser.add_argument("--log", required=True)
+    parser.add_argument(
+        "--log-format",
+        choices=LOG_FORMATS,
+        default="auto",
+        help="on-disk log format; 'auto' sniffs the content (a JSONL "
+        "log keeps parsing as JSONL whatever its file extension)",
+    )
+
+
+def _read_log(args: argparse.Namespace):
+    return read_log(args.log, log_format=args.log_format)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -312,7 +339,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    log = _read_log(args.log)
+    log = _read_log(args)
     processes = log.to_processes()
     stats = compute_statistics(processes)
     print(calibrate(processes).render())
@@ -329,18 +356,36 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+_MINE_CURVE_MINPS = (0.1, 0.2, 0.3, 0.5, 0.7, 1.0)
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
-    log = _read_log(args.log)
-    processes = log.to_processes()
-    result = filter_noise(processes, args.minp)
-    print(f"{result.clustering.cluster_count()} symptom clusters at "
-          f"minp = {args.minp:g}")
-    print(f"{result.noise_fraction:.2%} of {len(processes):,} processes "
-          "filtered as noisy (multi-cluster)")
+    if args.stream:
+        miner, summary = mine_log_streaming(
+            args.log,
+            args.minp,
+            log_format=args.log_format,
+            chunk_size=args.chunk_size,
+        )
+        print(f"{summary.cluster_count} symptom clusters at "
+              f"minp = {args.minp:g}")
+        print(f"{summary.noise_fraction:.2%} of "
+              f"{summary.process_count:,} processes "
+              "filtered as noisy (multi-cluster)")
+        print(f"streamed {summary.entry_count:,} entries "
+              f"({summary.orphan_count:,} orphans, "
+              f"{summary.incomplete_count:,} machines left open)")
+        curve = miner.coverage_curve(minps=_MINE_CURVE_MINPS)
+    else:
+        log = _read_log(args)
+        processes = log.to_processes()
+        result = filter_noise(processes, args.minp)
+        print(f"{result.clustering.cluster_count()} symptom clusters at "
+              f"minp = {args.minp:g}")
+        print(f"{result.noise_fraction:.2%} of {len(processes):,} processes "
+              "filtered as noisy (multi-cluster)")
+        curve = coverage_curve(processes, minps=_MINE_CURVE_MINPS)
     print()
-    curve = coverage_curve(
-        processes, minps=(0.1, 0.2, 0.3, 0.5, 0.7, 1.0)
-    )
     print(render_series({"coverage": curve}, x_label="minp",
                         title="Single-cluster process coverage"))
     return 0
@@ -349,7 +394,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.learning.telemetry import TelemetryRecorder
 
-    log = _read_log(args.log)
+    log = _read_log(args)
     processes = log.to_processes()
     if 0.0 < args.fraction < 1.0:
         train_set, _test = time_ordered_split(processes, args.fraction)
@@ -390,7 +435,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    log = _read_log(args.log)
+    log = _read_log(args)
     processes = log.to_processes()
     _train, test = time_ordered_split(processes, args.fraction)
     policy = load_policy(args.policy)

@@ -19,6 +19,7 @@ from repro.actions.action import ActionCatalog, default_catalog
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import RecoveryPolicyLearner
 from repro.errors import ConfigurationError, TrainingError
+from repro.mining.streaming import StreamingMiner
 from repro.policies.base import Policy
 from repro.policies.hybrid import HybridPolicy
 from repro.policies.user_defined import UserDefinedPolicy
@@ -50,6 +51,12 @@ class RollingRetrainer:
     fallback:
         The always-available policy (deployed before the first fit and
         backing every hybrid afterwards).
+    miner:
+        Optional :class:`~repro.mining.streaming.StreamingMiner`.  When
+        given, every observed process is also folded into its
+        incremental counts, so mined statistics (clusters, noise
+        fraction, coverage) stay current alongside the policy without
+        ever batch re-reading the log.
     """
 
     def __init__(
@@ -61,6 +68,7 @@ class RollingRetrainer:
         retrain_every: int = 500,
         min_history: int = 200,
         fallback: Optional[Policy] = None,
+        miner: Optional[StreamingMiner] = None,
     ) -> None:
         if window < 1:
             raise ConfigurationError(f"window must be >= 1, got {window}")
@@ -87,6 +95,7 @@ class RollingRetrainer:
         self._learner: Optional[RecoveryPolicyLearner] = None
         self._policy: Policy = self.fallback
         self._subscribers: List[Callable[[Policy], None]] = []
+        self._miner = miner
 
     # ------------------------------------------------------------------
     @property
@@ -103,6 +112,11 @@ class RollingRetrainer:
     def learner(self) -> Optional[RecoveryPolicyLearner]:
         """The most recent fitted learner, if any."""
         return self._learner
+
+    @property
+    def miner(self) -> Optional[StreamingMiner]:
+        """The attached incremental miner, if any."""
+        return self._miner
 
     def current_policy(self) -> Policy:
         """The currently deployed policy (hybrid once trained)."""
@@ -144,6 +158,8 @@ class RollingRetrainer:
 
         Returns True when the observation triggered a retrain.
         """
+        if self._miner is not None:
+            self._miner.observe(process)
         self._window.append(process)
         self._since_retrain += 1
         if (

@@ -10,16 +10,30 @@ fraction of "noisy" processes whose symptoms span more than one cluster
 
 from repro.mining.clustering import SymptomClustering, coverage_curve
 from repro.mining.dependence import SymptomCooccurrence
-from repro.mining.mpattern import is_m_pattern, maximal_patterns, mine_m_patterns
+from repro.mining.mpattern import (
+    is_m_pattern,
+    maximal_patterns,
+    mine_m_patterns,
+    mine_m_patterns_from_counts,
+)
 from repro.mining.noise import NoiseFilterResult, filter_noise
+from repro.mining.streaming import (
+    StreamingMiner,
+    StreamingMiningResult,
+    mine_log_streaming,
+)
 
 __all__ = [
     "SymptomCooccurrence",
     "mine_m_patterns",
+    "mine_m_patterns_from_counts",
     "is_m_pattern",
     "maximal_patterns",
     "SymptomClustering",
     "coverage_curve",
     "NoiseFilterResult",
     "filter_noise",
+    "StreamingMiner",
+    "StreamingMiningResult",
+    "mine_log_streaming",
 ]

@@ -15,12 +15,17 @@ count), so a level-wise Apriori-style search is sound and complete.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set
 
 from repro.errors import MiningError
 from repro.util.validation import check_probability
 
-__all__ = ["mine_m_patterns", "is_m_pattern", "maximal_patterns"]
+__all__ = [
+    "mine_m_patterns",
+    "mine_m_patterns_from_counts",
+    "is_m_pattern",
+    "maximal_patterns",
+]
 
 Transaction = FrozenSet[str]
 Pattern = FrozenSet[str]
@@ -28,6 +33,16 @@ Pattern = FrozenSet[str]
 
 def _pattern_count(pattern: Pattern, transactions: Sequence[Transaction]) -> int:
     return sum(1 for t in transactions if pattern <= t)
+
+
+def _counted_pattern_count(
+    pattern: Pattern, transaction_counts: Mapping[Transaction, int]
+) -> int:
+    return sum(
+        count
+        for transaction, count in transaction_counts.items()
+        if pattern <= transaction
+    )
 
 
 def is_m_pattern(
@@ -80,6 +95,31 @@ def mine_m_patterns(
 
     Returns patterns sorted by (size, lexicographic members).
     """
+    return mine_m_patterns_from_counts(
+        Counter(frozenset(t) for t in transactions),
+        minp,
+        min_size=min_size,
+        max_size=max_size,
+        min_support_count=min_support_count,
+    )
+
+
+def mine_m_patterns_from_counts(
+    transaction_counts: Mapping[Transaction, int],
+    minp: float,
+    *,
+    min_size: int = 2,
+    max_size: int = 0,
+    min_support_count: int = 1,
+) -> List[Pattern]:
+    """Mine all m-patterns from a distinct-transaction multiset.
+
+    ``transaction_counts`` maps each *distinct* transaction to its
+    multiplicity — the representation a streaming consumer maintains
+    incrementally (the number of distinct symptom sets is bounded by
+    symptom diversity, not log length).  Results are identical to
+    :func:`mine_m_patterns` over the expanded transaction sequence.
+    """
     check_probability("minp", minp)
     if minp == 0:
         raise MiningError("minp must be > 0")
@@ -87,8 +127,9 @@ def mine_m_patterns(
         raise MiningError(f"min_size must be >= 1, got {min_size}")
 
     item_counts: Counter = Counter()
-    for transaction in transactions:
-        item_counts.update(transaction)
+    for transaction, count in transaction_counts.items():
+        for item in transaction:
+            item_counts[item] += count
 
     # Level 1: every occurring item is an m-pattern by itself.
     current: Dict[Pattern, int] = {
@@ -111,7 +152,7 @@ def mine_m_patterns(
                 candidate - {item} not in current for item in candidate
             ):
                 continue
-            together = _pattern_count(candidate, transactions)
+            together = _counted_pattern_count(candidate, transaction_counts)
             if together < min_support_count:
                 continue
             if all(

@@ -10,14 +10,22 @@ actions, and ends with a successful recovery.
 
 from repro.recoverylog.entry import EntryKind, LogEntry
 from repro.recoverylog.io import (
+    iter_log_chunks,
+    iter_log_entries,
+    iter_log_jsonl,
+    iter_log_text,
+    read_log,
     read_log_jsonl,
     read_log_text,
+    resolve_log_format,
+    sniff_log_format,
     write_log_jsonl,
     write_log_text,
 )
 from repro.recoverylog.log import RecoveryLog
 from repro.recoverylog.process import RecoveryProcess, SegmentationResult, segment_log
 from repro.recoverylog.stats import LogStatistics, compute_statistics
+from repro.recoverylog.stream import StreamingSegmenter
 
 __all__ = [
     "EntryKind",
@@ -26,10 +34,18 @@ __all__ = [
     "RecoveryProcess",
     "SegmentationResult",
     "segment_log",
+    "StreamingSegmenter",
+    "read_log",
     "read_log_text",
     "write_log_text",
     "read_log_jsonl",
     "write_log_jsonl",
+    "iter_log_text",
+    "iter_log_jsonl",
+    "iter_log_entries",
+    "iter_log_chunks",
+    "sniff_log_format",
+    "resolve_log_format",
     "LogStatistics",
     "compute_statistics",
 ]

@@ -8,15 +8,35 @@ Two formats are supported:
   otherwise a symptom), exactly the ambiguity a real operations log has.
 * **jsonl** — one JSON object per line with an explicit ``kind`` field;
   lossless round-trip.
+
+Every reader exists in two shapes: a streaming iterator
+(:func:`iter_log_text`, :func:`iter_log_jsonl`) that yields one
+:class:`~repro.recoverylog.entry.LogEntry` at a time and never holds the
+file in memory, and the historical eager reader
+(:func:`read_log_text`, :func:`read_log_jsonl`) which is now a thin
+wrapper that drains the iterator into a
+:class:`~repro.recoverylog.log.RecoveryLog`.  Both shapes report parse
+failures with identical ``path:line_no`` diagnostics.
+:func:`iter_log_chunks` batches either iterator into bounded lists for
+chunk-at-a-time consumers.
+
+Writers buffer entries and flush them in batches
+(:data:`DEFAULT_WRITE_BUFFER` lines per ``write`` call) and serialize
+JSON through one hoisted compact encoder — ``json.dumps`` with keyword
+arguments rebuilds a :class:`json.JSONEncoder` per call, which costs
+more than the encoding itself on multi-million-entry logs.
+``buffer_entries=1`` restores the historical one-``write``-per-entry
+flush behavior; ``benchmarks/bench_mining_throughput.py`` pins the
+combined win over the historical writers.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Optional, Set, Union
+from typing import Iterable, Iterator, List, Optional, Set, Union
 
-from repro.errors import LogFormatError
+from repro.errors import ConfigurationError, LogFormatError
 from repro.recoverylog.entry import SUCCESS_DESCRIPTION, EntryKind, LogEntry
 from repro.recoverylog.log import RecoveryLog
 
@@ -25,36 +45,119 @@ __all__ = [
     "read_log_text",
     "write_log_jsonl",
     "read_log_jsonl",
+    "iter_log_text",
+    "iter_log_jsonl",
+    "iter_log_entries",
+    "iter_log_chunks",
+    "read_log",
+    "sniff_log_format",
+    "resolve_log_format",
     "DEFAULT_ACTION_NAMES",
+    "DEFAULT_WRITE_BUFFER",
+    "DEFAULT_CHUNK_SIZE",
+    "LOG_FORMATS",
 ]
 
 PathLike = Union[str, Path]
 
 DEFAULT_ACTION_NAMES = frozenset({"TRYNOP", "REBOOT", "REIMAGE", "RMA"})
 
+#: Entries buffered per ``handle.write`` call in the writers.
+DEFAULT_WRITE_BUFFER = 8_192
 
-def write_log_text(log: Iterable[LogEntry], path: PathLike) -> int:
+#: Entries per list yielded by :func:`iter_log_chunks`.
+DEFAULT_CHUNK_SIZE = 65_536
+
+#: Explicit on-disk formats (``auto`` additionally sniffs the content).
+LOG_FORMATS = ("auto", "text", "jsonl")
+
+#: One compact encoder, hoisted: ``json.dumps(..., separators=...)``
+#: constructs a fresh ``JSONEncoder`` on every call and loses the
+#: cached-encoder fast path, costing ~1.4x on large logs.
+_COMPACT_JSON = json.JSONEncoder(separators=(",", ":")).encode
+
+
+# ----------------------------------------------------------------------
+# Writers
+# ----------------------------------------------------------------------
+def write_log_text(
+    log: Iterable[LogEntry],
+    path: PathLike,
+    *,
+    buffer_entries: int = DEFAULT_WRITE_BUFFER,
+) -> int:
     """Write entries as tab-separated ``time  machine  description`` lines.
 
+    Lines are accumulated and flushed every ``buffer_entries`` entries.
     Returns the number of entries written.
     """
+    if buffer_entries < 1:
+        raise ConfigurationError(
+            f"buffer_entries must be >= 1, got {buffer_entries}"
+        )
     count = 0
+    lines: List[str] = []
     with open(path, "w", encoding="utf-8") as handle:
         for entry in log:
             # repr() keeps full float precision so parsing round-trips.
-            handle.write(
+            lines.append(
                 f"{entry.time!r}\t{entry.machine}\t{entry.description}\n"
             )
             count += 1
+            if len(lines) >= buffer_entries:
+                handle.write("".join(lines))
+                lines.clear()
+        if lines:
+            handle.write("".join(lines))
     return count
 
 
-def read_log_text(
+def write_log_jsonl(
+    log: Iterable[LogEntry],
+    path: PathLike,
+    *,
+    buffer_entries: int = DEFAULT_WRITE_BUFFER,
+) -> int:
+    """Write entries as JSON lines with explicit kinds.
+
+    Records are rendered compactly (no separator whitespace) and flushed
+    every ``buffer_entries`` entries.  Returns the number of entries
+    written.
+    """
+    if buffer_entries < 1:
+        raise ConfigurationError(
+            f"buffer_entries must be >= 1, got {buffer_entries}"
+        )
+    count = 0
+    dumps = _COMPACT_JSON
+    lines: List[str] = []
+    with open(path, "w", encoding="utf-8") as handle:
+        for entry in log:
+            record = {
+                "time": entry.time,
+                "machine": entry.machine,
+                "kind": entry.kind.value,
+                "description": entry.description,
+            }
+            lines.append(dumps(record) + "\n")
+            count += 1
+            if len(lines) >= buffer_entries:
+                handle.write("".join(lines))
+                lines.clear()
+        if lines:
+            handle.write("".join(lines))
+    return count
+
+
+# ----------------------------------------------------------------------
+# Streaming readers
+# ----------------------------------------------------------------------
+def iter_log_text(
     path: PathLike,
     *,
     action_names: Optional[Set[str]] = None,
-) -> RecoveryLog:
-    """Parse a text-format log back into a :class:`RecoveryLog`.
+) -> Iterator[LogEntry]:
+    """Yield entries of a text-format log one at a time.
 
     Parameters
     ----------
@@ -65,7 +168,6 @@ def read_log_text(
         paper's four actions.
     """
     names = DEFAULT_ACTION_NAMES if action_names is None else set(action_names)
-    entries = []
     with open(path, "r", encoding="utf-8") as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.rstrip("\n")
@@ -90,52 +192,133 @@ def read_log_text(
                 kind = EntryKind.ACTION
             else:
                 kind = EntryKind.SYMPTOM
-            entries.append(LogEntry(time, machine, kind, description))
-    return RecoveryLog(entries)
+            yield LogEntry(time, machine, kind, description)
 
 
-def write_log_jsonl(log: Iterable[LogEntry], path: PathLike) -> int:
-    """Write entries as JSON lines with explicit kinds.
-
-    Returns the number of entries written.
-    """
-    count = 0
-    with open(path, "w", encoding="utf-8") as handle:
-        for entry in log:
-            record = {
-                "time": entry.time,
-                "machine": entry.machine,
-                "kind": entry.kind.value,
-                "description": entry.description,
-            }
-            handle.write(json.dumps(record) + "\n")
-            count += 1
-    return count
-
-
-def read_log_jsonl(path: PathLike) -> RecoveryLog:
-    """Parse a JSONL-format log back into a :class:`RecoveryLog`."""
-    entries = []
+def iter_log_jsonl(path: PathLike) -> Iterator[LogEntry]:
+    """Yield entries of a JSONL-format log one at a time."""
+    loads = json.loads
     with open(path, "r", encoding="utf-8") as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                record = json.loads(line)
+                record = loads(line)
             except json.JSONDecodeError as exc:
-                raise LogFormatError(f"{path}:{line_no}: bad JSON: {exc}") from None
+                raise LogFormatError(
+                    f"{path}:{line_no}: bad JSON: {exc}"
+                ) from None
             try:
-                entries.append(
-                    LogEntry(
-                        time=float(record["time"]),
-                        machine=str(record["machine"]),
-                        kind=EntryKind(record["kind"]),
-                        description=str(record["description"]),
-                    )
+                yield LogEntry(
+                    time=float(record["time"]),
+                    machine=str(record["machine"]),
+                    kind=EntryKind(record["kind"]),
+                    description=str(record["description"]),
                 )
             except (KeyError, ValueError) as exc:
                 raise LogFormatError(
                     f"{path}:{line_no}: bad record {record!r}: {exc}"
                 ) from None
-    return RecoveryLog(entries)
+
+
+def sniff_log_format(path: PathLike) -> str:
+    """Guess ``"text"`` or ``"jsonl"`` from the first non-blank line.
+
+    A JSONL log's every record is an object, so a leading ``{`` decides;
+    an empty file defaults to ``"text"`` (both parsers accept it).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if stripped:
+                return "jsonl" if stripped.startswith("{") else "text"
+    return "text"
+
+
+def resolve_log_format(path: PathLike, log_format: str = "auto") -> str:
+    """Resolve ``auto`` to a concrete format by sniffing the content.
+
+    Explicit ``"text"`` / ``"jsonl"`` pass through unchanged; anything
+    else must be ``"auto"``, which inspects the file rather than
+    trusting the suffix (operations logs routinely carry ``.log``
+    regardless of their syntax).
+    """
+    if log_format in ("text", "jsonl"):
+        return log_format
+    if log_format != "auto":
+        raise ConfigurationError(
+            f"log format must be one of {', '.join(LOG_FORMATS)}, "
+            f"got {log_format!r}"
+        )
+    return sniff_log_format(path)
+
+
+def iter_log_entries(
+    path: PathLike,
+    *,
+    log_format: str = "auto",
+    action_names: Optional[Set[str]] = None,
+) -> Iterator[LogEntry]:
+    """Yield entries of a log in either format, resolving ``auto``."""
+    resolved = resolve_log_format(path, log_format)
+    if resolved == "jsonl":
+        return iter_log_jsonl(path)
+    return iter_log_text(path, action_names=action_names)
+
+
+def iter_log_chunks(
+    path: PathLike,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    log_format: str = "auto",
+    action_names: Optional[Set[str]] = None,
+) -> Iterator[List[LogEntry]]:
+    """Yield lists of at most ``chunk_size`` entries, in file order.
+
+    The bounded chunks are what the streaming miner consumes; peak
+    memory is one chunk regardless of the log's size.
+    """
+    if chunk_size < 1:
+        raise ConfigurationError(
+            f"chunk_size must be >= 1, got {chunk_size}"
+        )
+    chunk: List[LogEntry] = []
+    for entry in iter_log_entries(
+        path, log_format=log_format, action_names=action_names
+    ):
+        chunk.append(entry)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+# ----------------------------------------------------------------------
+# Eager readers (thin wrappers over the iterators)
+# ----------------------------------------------------------------------
+def read_log_text(
+    path: PathLike,
+    *,
+    action_names: Optional[Set[str]] = None,
+) -> RecoveryLog:
+    """Parse a text-format log back into a :class:`RecoveryLog`."""
+    return RecoveryLog(iter_log_text(path, action_names=action_names))
+
+
+def read_log_jsonl(path: PathLike) -> RecoveryLog:
+    """Parse a JSONL-format log back into a :class:`RecoveryLog`."""
+    return RecoveryLog(iter_log_jsonl(path))
+
+
+def read_log(
+    path: PathLike,
+    *,
+    log_format: str = "auto",
+    action_names: Optional[Set[str]] = None,
+) -> RecoveryLog:
+    """Read a log in either format, resolving ``auto`` by sniffing."""
+    return RecoveryLog(
+        iter_log_entries(path, log_format=log_format, action_names=action_names)
+    )

@@ -1,0 +1,171 @@
+"""Streaming log segmentation: emit recovery processes as they close.
+
+:func:`~repro.recoverylog.process.segment_log` needs the whole log in
+memory (it groups by machine, sorts, then slices).  The
+:class:`StreamingSegmenter` here consumes a *time-ordered* entry stream
+and maintains only the per-machine open-process buffers: when a machine
+reports success, its buffered entries become a completed
+:class:`~repro.recoverylog.process.RecoveryProcess` and are released
+immediately.  Peak memory is the sum of currently-open processes — a
+handful of entries per machine — no matter how long the log is.
+
+The segmentation semantics are pinned to the eager reference by
+``tests/test_streaming_equivalence.py``: identical completed processes,
+identical incomplete trailing buffers and identical orphan entries
+(modulo emission order — the streaming path emits processes on close,
+the eager path reports them sorted by start time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SegmentationError
+from repro.recoverylog.entry import LogEntry
+from repro.recoverylog.process import RecoveryProcess
+
+__all__ = ["StreamingSegmenter", "DEFAULT_MAX_OPEN_ENTRIES"]
+
+#: Per-machine open-buffer bound: a recovery process longer than this is
+#: almost certainly a log defect (a machine whose success reports are
+#: lost would otherwise grow without bound and defeat the memory
+#: guarantee), so the segmenter fails loudly instead of swallowing RAM.
+DEFAULT_MAX_OPEN_ENTRIES = 100_000
+
+#: Orphan entries retained verbatim for diagnostics; beyond this only
+#: the count grows (an adversarial all-orphan log must not re-create the
+#: unbounded-memory problem streaming exists to solve).
+DEFAULT_MAX_ORPHANS_KEPT = 10_000
+
+
+class StreamingSegmenter:
+    """Per-machine state machine that emits recovery processes on close.
+
+    Entries must arrive in log order (the
+    :class:`~repro.recoverylog.entry.LogEntry` total order — the order
+    both the on-disk formats and the simulators produce); out-of-order
+    input raises :class:`~repro.errors.SegmentationError` rather than
+    silently mis-segmenting.
+
+    Parameters
+    ----------
+    max_open_entries:
+        Upper bound on any one machine's open-process buffer.
+    max_orphans_kept:
+        Orphan entries (actions/successes with no opening symptom)
+        retained for diagnostics; all orphans are *counted* regardless.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_open_entries: int = DEFAULT_MAX_OPEN_ENTRIES,
+        max_orphans_kept: int = DEFAULT_MAX_ORPHANS_KEPT,
+    ) -> None:
+        if max_open_entries < 2:
+            raise ConfigurationError(
+                f"max_open_entries must be >= 2, got {max_open_entries}"
+            )
+        if max_orphans_kept < 0:
+            raise ConfigurationError(
+                f"max_orphans_kept must be >= 0, got {max_orphans_kept}"
+            )
+        self._max_open = max_open_entries
+        self._max_orphans = max_orphans_kept
+        self._open: Dict[str, List[LogEntry]] = {}
+        self._orphans: List[LogEntry] = []
+        self._orphan_count = 0
+        self._entry_count = 0
+        self._emitted_count = 0
+        self._last: Optional[LogEntry] = None
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def feed(self, entry: LogEntry) -> Optional[RecoveryProcess]:
+        """Consume one entry; return the process it completed, if any."""
+        last = self._last
+        # Fast path on the timestamp alone; the full (and much more
+        # expensive) total-order comparison only runs on timestamp ties.
+        if last is not None and not last.time < entry.time and entry < last:
+            raise SegmentationError(
+                f"entries out of stream order: {last!r} then {entry!r}; "
+                "the streaming segmenter needs time-ordered input"
+            )
+        self._last = entry
+        self._entry_count += 1
+        buffer = self._open.get(entry.machine)
+        if buffer is None:
+            if not entry.is_symptom:
+                self._orphan_count += 1
+                if len(self._orphans) < self._max_orphans:
+                    self._orphans.append(entry)
+                return None
+            self._open[entry.machine] = [entry]
+            return None
+        buffer.append(entry)
+        if entry.is_success:
+            del self._open[entry.machine]
+            self._emitted_count += 1
+            return RecoveryProcess(entry.machine, tuple(buffer))
+        if len(buffer) > self._max_open:
+            raise SegmentationError(
+                f"machine {entry.machine!r} has an open recovery process "
+                f"exceeding {self._max_open} entries; the log likely "
+                "lost its success reports (raise max_open_entries to "
+                "override)"
+            )
+        return None
+
+    def feed_many(
+        self, entries: Iterable[LogEntry]
+    ) -> Iterator[RecoveryProcess]:
+        """Consume entries, yielding each completed process as it closes."""
+        feed = self.feed
+        for entry in entries:
+            process = feed(entry)
+            if process is not None:
+                yield process
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def entry_count(self) -> int:
+        """Entries consumed so far."""
+        return self._entry_count
+
+    @property
+    def emitted_count(self) -> int:
+        """Completed processes emitted so far."""
+        return self._emitted_count
+
+    @property
+    def open_machine_count(self) -> int:
+        """Machines with an open (unfinished) recovery process."""
+        return len(self._open)
+
+    @property
+    def open_entry_count(self) -> int:
+        """Entries currently buffered across all open processes."""
+        return sum(len(buffer) for buffer in self._open.values())
+
+    @property
+    def orphan_count(self) -> int:
+        """Entries that could not open a process (no leading symptom)."""
+        return self._orphan_count
+
+    @property
+    def orphans(self) -> Tuple[LogEntry, ...]:
+        """Retained orphan entries (capped at ``max_orphans_kept``)."""
+        return tuple(self._orphans)
+
+    def pending(self) -> Tuple[Tuple[LogEntry, ...], ...]:
+        """Open per-machine buffers, in machine-name order.
+
+        Matches the eager reference's ``incomplete`` tuples when the
+        stream ends: trailing entries that never reached a success.
+        """
+        return tuple(
+            tuple(self._open[machine]) for machine in sorted(self._open)
+        )

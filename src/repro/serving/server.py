@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from repro.actions.action import default_catalog
 from repro.errors import ConfigurationError, UnhandledStateError
@@ -31,6 +31,14 @@ from repro.policies.hybrid import HybridPolicy
 from repro.policies.user_defined import UserDefinedPolicy
 
 __all__ = ["DecisionServer", "PolicyVersion", "ServedDecision"]
+
+
+def _known_error_types(policy: Policy) -> Optional[FrozenSet[str]]:
+    """The primary's rule-table error types, if it exposes them."""
+    getter = getattr(policy, "error_types", None)
+    if getter is None:
+        return None
+    return frozenset(getter())
 
 
 @dataclass(frozen=True)
@@ -101,6 +109,14 @@ class DecisionServer:
         self._fallbacks = 0
         self._batches = 0
         self._by_version: Dict[int, int] = {}
+        # Per error type: [hits, fallbacks, unknown].  A "fallback" is a
+        # known error type whose particular state the primary could not
+        # answer; "unknown" is an error type outside the primary's rule
+        # table entirely.
+        self._by_error_type: Dict[str, List[int]] = {}
+        self._known_types: Dict[int, Optional[FrozenSet[str]]] = {
+            1: _known_error_types(policy)
+        }
 
     # ------------------------------------------------------------------
     # Introspection
@@ -136,6 +152,27 @@ class DecisionServer:
         with self._stats_lock:
             return {v: self._by_version[v] for v in sorted(self._by_version)}
 
+    def error_type_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-error-type serving counters, in error-type order.
+
+        ``{error_type: {"hits": .., "fallbacks": .., "unknown": ..}}`` —
+        *hits* answered by the primary policy, *fallbacks* degraded for
+        a known error type (the primary had no rule for that particular
+        state), *unknown* degraded because the error type is outside the
+        primary's rule table.  When the primary does not expose
+        ``error_types()`` the unknown column stays 0 and every miss
+        counts as a fallback.
+        """
+        with self._stats_lock:
+            return {
+                error_type: {
+                    "hits": counts[0],
+                    "fallbacks": counts[1],
+                    "unknown": counts[2],
+                }
+                for error_type, counts in sorted(self._by_error_type.items())
+            }
+
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
@@ -164,12 +201,14 @@ class DecisionServer:
             )
         current = self._current
         decision = self._decision(current, state)
+        column = self._stat_column(current, state, decision.fell_back)
         with self._stats_lock:
             self._decisions += 1
             self._fallbacks += 1 if decision.fell_back else 0
             self._by_version[current.version] = (
                 self._by_version.get(current.version, 0) + 1
             )
+            self._count_error_type(state.error_type, column)
         return decision
 
     def decide_batch(
@@ -185,10 +224,17 @@ class DecisionServer:
         primary = current.primary.decide_batch(states)
         source_hit = f"serving:{current.primary.name}"
         results: List[ServedDecision] = []
+        # Per-type counts aggregated locally so the stats lock is held
+        # only for the (few) distinct error types, not per state.
+        local: Dict[str, List[int]] = {}
         fallbacks = 0
         for state, outcome in zip(states, primary):
+            counts = local.get(state.error_type)
+            if counts is None:
+                counts = local[state.error_type] = [0, 0, 0]
             if isinstance(outcome, UnhandledStateError):
                 fallbacks += 1
+                counts[self._stat_column(current, state, True)] += 1
                 choice = current.fallback.decide(state)
                 results.append(
                     ServedDecision(
@@ -200,6 +246,7 @@ class DecisionServer:
                     )
                 )
             else:
+                counts[0] += 1
                 results.append(
                     ServedDecision(
                         action=outcome.action,
@@ -216,7 +263,33 @@ class DecisionServer:
             self._by_version[current.version] = (
                 self._by_version.get(current.version, 0) + len(results)
             )
+            by_error_type = self._by_error_type
+            for error_type, batch_counts in local.items():
+                counts = by_error_type.get(error_type)
+                if counts is None:
+                    by_error_type[error_type] = batch_counts
+                else:
+                    counts[0] += batch_counts[0]
+                    counts[1] += batch_counts[1]
+                    counts[2] += batch_counts[2]
         return results
+
+    def _stat_column(
+        self, current: PolicyVersion, state: RecoveryState, fell_back: bool
+    ) -> int:
+        """0 = hit, 1 = fallback (known type), 2 = unknown type."""
+        if not fell_back:
+            return 0
+        known = self._known_types.get(current.version)
+        if known is not None and state.error_type not in known:
+            return 2
+        return 1
+
+    def _count_error_type(self, error_type: str, column: int) -> None:
+        counts = self._by_error_type.get(error_type)
+        if counts is None:
+            counts = self._by_error_type[error_type] = [0, 0, 0]
+        counts[column] += 1
 
     # ------------------------------------------------------------------
     # Hot reload
@@ -237,6 +310,9 @@ class DecisionServer:
                 primary=policy,
                 fallback=fallback if fallback is not None else previous.fallback,
             )
+            # Cache the generation's known-type set before the swap so
+            # readers classifying against it never miss the entry.
+            self._known_types[version.version] = _known_error_types(policy)
             self._current = version
         return version
 

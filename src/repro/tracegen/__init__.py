@@ -16,9 +16,12 @@ from repro.tracegen.catalog_gen import (
     generate_fault_catalog,
 )
 from repro.tracegen.generator import GeneratedTrace, TraceGenerator, generate_trace
+from repro.tracegen.stream import SyntheticStreamConfig, iter_synthetic_log
 from repro.tracegen.workload import TraceConfig, default_config, paper_scale_config
 
 __all__ = [
+    "SyntheticStreamConfig",
+    "iter_synthetic_log",
     "CatalogSpec",
     "FaultProfile",
     "generate_fault_catalog",

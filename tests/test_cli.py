@@ -181,3 +181,72 @@ class TestExperiment:
         )
         assert code == 0
         assert capsys.readouterr().out.strip()
+
+
+class TestLogFormatFlag:
+    @pytest.fixture(scope="class")
+    def jsonl_with_log_suffix(self, tmp_path_factory, small_trace):
+        # Regression: JSONL content behind a .log suffix must parse as
+        # JSONL on every log-consuming subcommand (the old reader chose
+        # the parser from the extension and exploded here).
+        path = tmp_path_factory.mktemp("fmt") / "cluster.log"
+        write_log_jsonl(small_trace.log, path)
+        return str(path)
+
+    def test_inspect_sniffs_jsonl_in_dot_log(
+        self, jsonl_with_log_suffix, capsys
+    ):
+        assert main(["inspect", "--log", jsonl_with_log_suffix]) == 0
+        assert "Trace calibration" in capsys.readouterr().out
+
+    def test_mine_sniffs_jsonl_in_dot_log(
+        self, jsonl_with_log_suffix, capsys
+    ):
+        assert main(["mine", "--log", jsonl_with_log_suffix]) == 0
+        assert "symptom clusters" in capsys.readouterr().out
+
+    def test_explicit_format_overrides_sniffing(
+        self, jsonl_with_log_suffix, capsys
+    ):
+        assert main(
+            ["mine", "--log", jsonl_with_log_suffix,
+             "--log-format", "jsonl"]
+        ) == 0
+        capsys.readouterr()
+
+    def test_wrong_explicit_format_is_error(
+        self, jsonl_with_log_suffix, capsys
+    ):
+        assert main(
+            ["mine", "--log", jsonl_with_log_suffix,
+             "--log-format", "text"]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_format_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mine", "--log", "x", "--log-format", "xml"]
+            )
+
+
+class TestMineStream:
+    def test_stream_matches_eager_report(self, log_path, capsys):
+        assert main(["mine", "--log", log_path]) == 0
+        eager_out = capsys.readouterr().out
+        assert main(["mine", "--log", log_path, "--stream"]) == 0
+        stream_out = capsys.readouterr().out
+        eager_head = eager_out.splitlines()[:2]
+        stream_head = stream_out.splitlines()[:2]
+        assert eager_head == stream_head  # clusters + noise lines agree
+        assert "streamed" in stream_out
+
+    def test_stream_chunk_size_does_not_change_report(
+        self, log_path, capsys
+    ):
+        assert main(["mine", "--log", log_path, "--stream"]) == 0
+        default_out = capsys.readouterr().out
+        assert main(
+            ["mine", "--log", log_path, "--stream", "--chunk-size", "17"]
+        ) == 0
+        assert capsys.readouterr().out == default_out

@@ -11,6 +11,8 @@ from repro.learning.qlearning import QLearningConfig
 from repro.learning.selection_tree import SelectionTreeConfig
 from repro.learning.telemetry import EpisodeRecorder
 from repro.mdp.state import RecoveryState
+from repro.mining.dependence import SymptomCooccurrence
+from repro.mining.streaming import StreamingMiner
 from repro.session.environment import ReplayEnvironment
 from repro.simplatform.platform import SimulationPlatform
 
@@ -268,3 +270,24 @@ class TestSubscribers:
         with pytest.raises(TrainingError):
             retrainer.retrain()
         assert published == []
+
+
+class TestMinerHook:
+    def test_observed_processes_flow_into_miner(self, small_processes):
+        miner = StreamingMiner()
+        retrainer = RollingRetrainer(min_history=10**9, miner=miner)
+        for process in small_processes[:40]:
+            retrainer.observe(process)
+        assert retrainer.miner is miner
+        assert miner.process_count == 40
+        reference = SymptomCooccurrence.from_transactions(
+            p.symptom_set for p in small_processes[:40]
+        )
+        assert miner.cooccurrence.items == reference.items
+        assert (
+            miner.cooccurrence.transaction_count
+            == reference.transaction_count
+        )
+
+    def test_no_miner_by_default(self):
+        assert RollingRetrainer().miner is None

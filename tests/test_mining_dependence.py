@@ -69,3 +69,53 @@ class TestDependence:
         assert cooc.transaction_count == 0
         assert cooc.support("x") == 0.0
         assert cooc.dependent_pairs(0.5) == []
+
+
+class TestIncrementalUpdates:
+    TRANSACTIONS = [
+        frozenset({"a", "b"}),
+        frozenset({"a", "b", "c"}),
+        frozenset({"a"}),
+        frozenset({"c", "d"}),
+        frozenset({"b", "d"}),
+        frozenset({"e"}),
+    ]
+
+    def test_incremental_equals_batch(self):
+        batch = SymptomCooccurrence.from_transactions(self.TRANSACTIONS)
+        incremental = SymptomCooccurrence()
+        incremental.update(self.TRANSACTIONS[:2])
+        for transaction in self.TRANSACTIONS[2:]:
+            incremental.add(transaction)
+        assert incremental.items == batch.items
+        assert incremental.transaction_count == batch.transaction_count
+        for item in batch.items:
+            assert incremental.count(item) == batch.count(item)
+        items = batch.items
+        for i, a in enumerate(items):
+            for b in items[i + 1:]:
+                assert incremental.pair_count(a, b) == batch.pair_count(a, b)
+
+    def test_dependent_pairs_independent_of_insertion_order(self):
+        forward = SymptomCooccurrence.from_transactions(self.TRANSACTIONS)
+        backward = SymptomCooccurrence.from_transactions(
+            list(reversed(self.TRANSACTIONS))
+        )
+        assert forward.dependent_pairs(0.3) == backward.dependent_pairs(0.3)
+
+    def test_update_returns_self_for_chaining(self):
+        cooc = SymptomCooccurrence().update(self.TRANSACTIONS)
+        assert cooc.transaction_count == len(self.TRANSACTIONS)
+
+    def test_capacity_growth_preserves_counts(self):
+        # Force several geometric growths past the initial capacity.
+        singles = [frozenset({f"sym-{i:03d}"}) for i in range(200)]
+        cooc = SymptomCooccurrence().update(singles)
+        assert cooc.symptom_count == 200
+        assert all(cooc.count(f"sym-{i:03d}") == 1 for i in range(200))
+
+    def test_duplicate_items_in_transaction_counted_once(self):
+        cooc = SymptomCooccurrence()
+        cooc.add(["a", "a", "b"])
+        assert cooc.count("a") == 1
+        assert cooc.pair_count("a", "b") == 1

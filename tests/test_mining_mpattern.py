@@ -1,11 +1,18 @@
 """Tests for the m-pattern miner, including hypothesis property tests."""
 
+from collections import Counter
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import MiningError
-from repro.mining.mpattern import is_m_pattern, maximal_patterns, mine_m_patterns
+from repro.mining.mpattern import (
+    is_m_pattern,
+    maximal_patterns,
+    mine_m_patterns,
+    mine_m_patterns_from_counts,
+)
 
 
 def T(*sets):
@@ -141,3 +148,44 @@ class TestMaximalPatterns:
 
     def test_empty_input(self):
         assert maximal_patterns([]) == []
+
+
+class TestCountedMiner:
+    def test_counted_equals_expanded_sequence(self):
+        transactions = [
+            frozenset({"a", "b"}),
+            frozenset({"a", "b"}),
+            frozenset({"a", "b", "c"}),
+            frozenset({"c"}),
+            frozenset({"a"}),
+        ]
+        counts = Counter(transactions)
+        for minp in (0.2, 0.5, 0.8, 1.0):
+            expanded = mine_m_patterns(transactions, minp)
+            counted = mine_m_patterns_from_counts(counts, minp)
+            assert sorted(counted, key=sorted) == sorted(
+                expanded, key=sorted
+            )
+
+    def test_multiplicity_matters(self):
+        # Two copies of {a, b} against one lone {a}: pair dependence
+        # of (a, b) is 2/3, which clears minp=0.6 only because the
+        # duplicate is weighted.
+        counts = Counter(
+            {frozenset({"a", "b"}): 2, frozenset({"a"}): 1}
+        )
+        assert frozenset({"a", "b"}) in mine_m_patterns_from_counts(
+            counts, 0.6
+        )
+        assert frozenset({"a", "b"}) not in mine_m_patterns_from_counts(
+            Counter({frozenset({"a", "b"}): 1, frozenset({"a"}): 1}), 0.6
+        )
+
+    def test_min_support_count_uses_weighted_support(self):
+        counts = Counter({frozenset({"a", "b"}): 3})
+        assert mine_m_patterns_from_counts(
+            counts, 0.5, min_support_count=3
+        )
+        assert not mine_m_patterns_from_counts(
+            counts, 0.5, min_support_count=4
+        )

@@ -3,11 +3,17 @@
 import pytest
 
 from helpers import make_log, make_process
-from repro.errors import LogFormatError
+from repro.errors import ConfigurationError, LogFormatError
 from repro.recoverylog.entry import EntryKind, LogEntry
 from repro.recoverylog.io import (
+    iter_log_chunks,
+    iter_log_jsonl,
+    iter_log_text,
+    read_log,
     read_log_jsonl,
     read_log_text,
+    resolve_log_format,
+    sniff_log_format,
     write_log_jsonl,
     write_log_text,
 )
@@ -103,3 +109,159 @@ class TestJsonlFormat:
         path.write_text('{"time": 1.0, "machine": "m"}\n')
         with pytest.raises(LogFormatError, match="bad record"):
             read_log_jsonl(path)
+
+
+class TestStreamingReaders:
+    """Iterator readers: same entries, same path:line diagnostics."""
+
+    def test_iterators_match_eager(self, tmp_path, sample_log):
+        text_path = tmp_path / "log.tsv"
+        jsonl_path = tmp_path / "log.jsonl"
+        write_log_text(sample_log, text_path)
+        write_log_jsonl(sample_log, jsonl_path)
+        assert list(iter_log_text(text_path)) == list(sample_log)
+        assert list(iter_log_jsonl(jsonl_path)) == list(sample_log)
+
+    @pytest.mark.parametrize("reader", [read_log_text, iter_log_text])
+    def test_text_bad_timestamp_reports_path_and_line(
+        self, tmp_path, reader
+    ):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1.0\tm\terror:X\n\nnotatime\tm\terror:Y\n")
+        with pytest.raises(LogFormatError, match="bad timestamp") as info:
+            list(reader(path))
+        assert f"{path}:3:" in str(info.value)
+
+    @pytest.mark.parametrize("reader", [read_log_text, iter_log_text])
+    def test_text_bad_field_count_reports_path_and_line(
+        self, tmp_path, reader
+    ):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1.0\tm\terror:X\n2.0\tm-only-two\n")
+        with pytest.raises(
+            LogFormatError, match="3 tab-separated"
+        ) as info:
+            list(reader(path))
+        assert f"{path}:2:" in str(info.value)
+
+    @pytest.mark.parametrize("reader", [read_log_jsonl, iter_log_jsonl])
+    def test_jsonl_bad_json_reports_path_and_line(self, tmp_path, reader):
+        path = tmp_path / "bad.jsonl"
+        good = '{"time":1.0,"machine":"m","kind":"symptom",'
+        good += '"description":"error:X"}\n'
+        path.write_text(good + '{"time": 1.0\n')
+        with pytest.raises(LogFormatError, match="bad JSON") as info:
+            list(reader(path))
+        assert f"{path}:2:" in str(info.value)
+
+    @pytest.mark.parametrize("reader", [read_log_jsonl, iter_log_jsonl])
+    def test_jsonl_missing_key_reports_path_and_line(
+        self, tmp_path, reader
+    ):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time": 1.0, "machine": "m"}\n')
+        with pytest.raises(LogFormatError, match="bad record") as info:
+            list(reader(path))
+        assert f"{path}:1:" in str(info.value)
+
+    def test_iterator_is_lazy_until_bad_line(self, tmp_path):
+        # Entries before the defect are yielded; the error surfaces only
+        # when the stream reaches the bad line.
+        path = tmp_path / "bad.tsv"
+        path.write_text("1.0\tm\terror:X\nnotatime\tm\terror:Y\n")
+        iterator = iter_log_text(path)
+        first = next(iterator)
+        assert first.description == "error:X"
+        with pytest.raises(LogFormatError, match="bad timestamp"):
+            next(iterator)
+
+
+class TestSniffing:
+    def test_jsonl_content_with_log_suffix(self, tmp_path, sample_log):
+        # Regression: operations logs carry .log whatever their syntax;
+        # format detection must follow content, not suffix.
+        path = tmp_path / "cluster.log"
+        write_log_jsonl(sample_log, path)
+        assert sniff_log_format(path) == "jsonl"
+        assert read_log(path) == sample_log
+
+    def test_text_content_with_json_suffix(self, tmp_path, sample_log):
+        path = tmp_path / "cluster.json"
+        write_log_text(sample_log, path)
+        assert sniff_log_format(path) == "text"
+        assert read_log(path) == sample_log
+
+    def test_leading_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "padded.log"
+        path.write_text('\n\n{"time":1.0,"machine":"m",'
+                        '"kind":"success","description":"Success"}\n')
+        assert sniff_log_format(path) == "jsonl"
+
+    def test_empty_file_defaults_to_text(self, tmp_path):
+        path = tmp_path / "empty.log"
+        path.write_text("")
+        assert sniff_log_format(path) == "text"
+        assert len(read_log(path)) == 0
+
+    def test_explicit_format_skips_sniffing(self, tmp_path, sample_log):
+        path = tmp_path / "cluster.log"
+        write_log_jsonl(sample_log, path)
+        assert resolve_log_format(path, "jsonl") == "jsonl"
+        with pytest.raises(LogFormatError):
+            read_log(path, log_format="text")
+
+    def test_invalid_format_rejected(self, tmp_path):
+        path = tmp_path / "x.log"
+        path.write_text("")
+        with pytest.raises(ConfigurationError, match="log format"):
+            resolve_log_format(path, "xml")
+
+
+class TestBufferedWriters:
+    @pytest.mark.parametrize(
+        "writer,reader",
+        [(write_log_text, read_log_text), (write_log_jsonl, read_log_jsonl)],
+    )
+    def test_buffering_does_not_change_bytes(
+        self, tmp_path, sample_log, writer, reader
+    ):
+        buffered = tmp_path / "buffered.out"
+        unbuffered = tmp_path / "unbuffered.out"
+        writer(sample_log, buffered)
+        writer(sample_log, unbuffered, buffer_entries=1)
+        assert buffered.read_bytes() == unbuffered.read_bytes()
+        assert reader(buffered) == sample_log
+
+    @pytest.mark.parametrize("writer", [write_log_text, write_log_jsonl])
+    def test_partial_final_buffer_flushed(self, tmp_path, sample_log, writer):
+        path = tmp_path / "log.out"
+        count = writer(sample_log, path, buffer_entries=4)
+        assert count == len(sample_log)
+        assert len(path.read_text().splitlines()) == len(sample_log)
+
+    @pytest.mark.parametrize("writer", [write_log_text, write_log_jsonl])
+    def test_bad_buffer_size_rejected(self, tmp_path, sample_log, writer):
+        with pytest.raises(ConfigurationError, match="buffer_entries"):
+            writer(sample_log, tmp_path / "x.out", buffer_entries=0)
+
+
+class TestChunkedReads:
+    def test_chunks_concatenate_to_full_log(self, tmp_path, sample_log):
+        path = tmp_path / "log.jsonl"
+        write_log_jsonl(sample_log, path)
+        chunks = list(iter_log_chunks(path, chunk_size=3))
+        assert all(len(chunk) <= 3 for chunk in chunks)
+        flattened = [entry for chunk in chunks for entry in chunk]
+        assert flattened == list(sample_log)
+
+    def test_single_chunk_when_size_exceeds_log(self, tmp_path, sample_log):
+        path = tmp_path / "log.jsonl"
+        write_log_jsonl(sample_log, path)
+        chunks = list(iter_log_chunks(path, chunk_size=10_000))
+        assert len(chunks) == 1
+
+    def test_bad_chunk_size_rejected(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text("")
+        with pytest.raises(ConfigurationError, match="chunk_size"):
+            list(iter_log_chunks(path, chunk_size=0))

@@ -7,6 +7,7 @@ entirely by one generation.
 """
 
 import threading
+import time
 
 import pytest
 
@@ -179,8 +180,14 @@ class TestHotReloadRace:
                     return
 
         def writer():
+            # Yield between publish bursts: 300 uncontended publishes
+            # fit inside one interpreter time slice, and a writer that
+            # finishes before any reader starts its second batch never
+            # overlaps a generation change with an in-flight batch.
             for i in range(300):
                 server.publish(alternates[i % 2])
+                if i % 10 == 0:
+                    time.sleep(0.002)
 
         readers = [threading.Thread(target=reader) for _ in range(4)]
         for thread in readers:
@@ -252,3 +259,75 @@ class TestServedDecision:
         assert isinstance(decision, ServedDecision)
         with pytest.raises(AttributeError):
             decision.action = "RMA"
+
+
+class TestErrorTypeStats:
+    def test_hits_fallbacks_and_unknown_classified(self, server):
+        server.decide(S0)
+        server.decide(S1)
+        server.decide(UNKNOWN)
+        # Known error type, but a state outside the trained table.
+        server.decide(S0.after("REBOOT", False))
+        stats = server.error_type_stats()
+        assert stats["error:X"] == {
+            "hits": 2, "fallbacks": 1, "unknown": 0,
+        }
+        assert stats["error:never-seen"] == {
+            "hits": 0, "fallbacks": 0, "unknown": 1,
+        }
+
+    def test_batch_and_scalar_count_identically(self, trained):
+        scalar = DecisionServer(trained)
+        batch = DecisionServer(trained)
+        states = [S0, UNKNOWN, S1, S0.after("REBOOT", False)]
+        for state in states:
+            scalar.decide(state)
+        batch.decide_batch(states)
+        assert scalar.error_type_stats() == batch.error_type_stats()
+
+    def test_stats_sorted_by_error_type(self, server):
+        server.decide(UNKNOWN)
+        server.decide(S0)
+        assert list(server.error_type_stats()) == [
+            "error:X", "error:never-seen",
+        ]
+
+    def test_empty_before_any_decision(self, server):
+        assert server.error_type_stats() == {}
+
+    def test_unknown_tracked_across_publish(self, server, trained):
+        server.decide(UNKNOWN)
+        server.publish(
+            TrainedPolicy(
+                {UNKNOWN: ("REBOOT", 100.0)}, label="t2",
+            )
+        )
+        decision = server.decide(UNKNOWN)
+        assert not decision.fell_back
+        stats = server.error_type_stats()
+        assert stats["error:never-seen"] == {
+            "hits": 1, "fallbacks": 0, "unknown": 1,
+        }
+
+    def test_primary_without_error_types_counts_fallbacks(self):
+        # A primary that does not expose error_types() cannot separate
+        # unknown types from unanswered states: everything that misses
+        # is a plain fallback.
+        class Opaque:
+            name = "opaque"
+
+            def decide(self, state):
+                from repro.errors import UnhandledStateError
+                raise UnhandledStateError(state)
+
+            def decide_batch(self, states):
+                from repro.errors import UnhandledStateError
+                return [UnhandledStateError(s) for s in states]
+
+        server = DecisionServer(
+            Opaque(), UserDefinedPolicy(default_catalog())
+        )
+        server.decide(S0)
+        assert server.error_type_stats()["error:X"] == {
+            "hits": 0, "fallbacks": 1, "unknown": 0,
+        }

@@ -1,0 +1,135 @@
+"""Tests for repro.recoverylog.stream: emit-on-close segmentation."""
+
+import pytest
+
+from helpers import make_process
+from repro.errors import ConfigurationError, SegmentationError
+from repro.recoverylog.entry import LogEntry
+from repro.recoverylog.stream import StreamingSegmenter
+
+
+def _entries(*processes):
+    merged = [entry for process in processes for entry in process.entries]
+    return sorted(merged, key=lambda entry: entry.sort_key)
+
+
+class TestStateMachine:
+    def test_emits_process_on_success(self):
+        process = make_process(["TRYNOP", "REBOOT"], machine="m-a")
+        segmenter = StreamingSegmenter()
+        emitted = list(segmenter.feed_many(process.entries))
+        assert emitted == [process]
+        assert segmenter.emitted_count == 1
+        assert segmenter.open_machine_count == 0
+
+    def test_interleaved_machines_separate(self):
+        a = make_process(["TRYNOP"], machine="m-a", start=0.0)
+        b = make_process(["REBOOT", "RMA"], machine="m-b", start=10.0)
+        segmenter = StreamingSegmenter()
+        emitted = list(segmenter.feed_many(_entries(a, b)))
+        assert sorted(emitted, key=lambda p: p.machine) == [a, b]
+
+    def test_feed_returns_completed_process_or_none(self):
+        process = make_process(["TRYNOP"], machine="m-a")
+        segmenter = StreamingSegmenter()
+        results = [segmenter.feed(entry) for entry in process.entries]
+        assert results[:-1] == [None] * (len(process.entries) - 1)
+        assert results[-1] == process
+
+    def test_back_to_back_processes_same_machine(self):
+        first = make_process(["TRYNOP"], machine="m-a", start=0.0)
+        second = make_process(["REBOOT"], machine="m-a", start=10_000.0)
+        segmenter = StreamingSegmenter()
+        emitted = list(
+            segmenter.feed_many(list(first.entries) + list(second.entries))
+        )
+        assert emitted == [first, second]
+
+    def test_entry_count_tracks_consumed(self):
+        process = make_process(["TRYNOP"], machine="m-a")
+        segmenter = StreamingSegmenter()
+        list(segmenter.feed_many(process.entries))
+        assert segmenter.entry_count == len(process.entries)
+
+
+class TestOrphans:
+    def test_action_without_symptom_is_orphan(self):
+        segmenter = StreamingSegmenter()
+        assert segmenter.feed(LogEntry.action(1.0, "m", "REBOOT")) is None
+        assert segmenter.orphan_count == 1
+        assert segmenter.orphans[0].description == "REBOOT"
+
+    def test_success_without_symptom_is_orphan(self):
+        segmenter = StreamingSegmenter()
+        segmenter.feed(LogEntry.success(1.0, "m"))
+        assert segmenter.orphan_count == 1
+
+    def test_orphan_retention_is_capped_but_counting_is_not(self):
+        segmenter = StreamingSegmenter(max_orphans_kept=3)
+        for index in range(10):
+            segmenter.feed(LogEntry.action(float(index), "m", "REBOOT"))
+        assert segmenter.orphan_count == 10
+        assert len(segmenter.orphans) == 3
+
+
+class TestOrdering:
+    def test_out_of_order_time_raises(self):
+        segmenter = StreamingSegmenter()
+        segmenter.feed(LogEntry.symptom(10.0, "m", "error:X"))
+        with pytest.raises(SegmentationError, match="out of stream order"):
+            segmenter.feed(LogEntry.symptom(5.0, "m", "error:Y"))
+
+    def test_equal_time_wrong_kind_order_raises(self):
+        # The fast path admits strictly increasing times; ties must
+        # still respect the LogEntry total order (symptom < action).
+        segmenter = StreamingSegmenter()
+        segmenter.feed(LogEntry.symptom(1.0, "m", "error:X"))
+        segmenter.feed(LogEntry.action(1.0, "m", "REBOOT"))
+        with pytest.raises(SegmentationError, match="out of stream order"):
+            segmenter.feed(LogEntry.symptom(1.0, "m", "error:Y"))
+
+    def test_equal_time_machine_ascending_accepted(self):
+        segmenter = StreamingSegmenter()
+        segmenter.feed(LogEntry.symptom(1.0, "m-a", "error:X"))
+        segmenter.feed(LogEntry.symptom(1.0, "m-b", "error:X"))
+        assert segmenter.open_machine_count == 2
+
+
+class TestBounds:
+    def test_open_buffer_overflow_raises(self):
+        segmenter = StreamingSegmenter(max_open_entries=3)
+        segmenter.feed(LogEntry.symptom(0.0, "m", "error:X"))
+        segmenter.feed(LogEntry.symptom(1.0, "m", "warn:A"))
+        segmenter.feed(LogEntry.symptom(2.0, "m", "warn:B"))
+        with pytest.raises(SegmentationError, match="exceeding 3 entries"):
+            segmenter.feed(LogEntry.symptom(3.0, "m", "warn:C"))
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamingSegmenter(max_open_entries=1)
+        with pytest.raises(ConfigurationError):
+            StreamingSegmenter(max_orphans_kept=-1)
+
+    def test_open_entry_count(self):
+        segmenter = StreamingSegmenter()
+        segmenter.feed(LogEntry.symptom(0.0, "m-a", "error:X"))
+        segmenter.feed(LogEntry.symptom(1.0, "m-b", "error:Y"))
+        segmenter.feed(LogEntry.action(2.0, "m-b", "REBOOT"))
+        assert segmenter.open_entry_count == 3
+
+
+class TestPending:
+    def test_pending_machine_sorted(self):
+        segmenter = StreamingSegmenter()
+        segmenter.feed(LogEntry.symptom(0.0, "m-b", "error:Y"))
+        segmenter.feed(LogEntry.symptom(1.0, "m-a", "error:X"))
+        segmenter.feed(LogEntry.action(2.0, "m-b", "REBOOT"))
+        pending = segmenter.pending()
+        assert [buffer[0].machine for buffer in pending] == ["m-a", "m-b"]
+        assert len(pending[1]) == 2
+
+    def test_pending_empty_after_close(self):
+        process = make_process(["TRYNOP"], machine="m-a")
+        segmenter = StreamingSegmenter()
+        list(segmenter.feed_many(process.entries))
+        assert segmenter.pending() == ()
