@@ -268,6 +268,50 @@ def check_payload(payload: Dict[str, object]) -> List[str]:
     return problems
 
 
+def check_overhead(
+    metrics: Dict[str, object],
+    baseline: Dict[str, object],
+    *,
+    max_overhead: float = 0.05,
+) -> List[str]:
+    """Regression guard: throughput loss vs a baseline artifact.
+
+    Compares this run's scale-leg ``machines_per_s`` against the
+    committed baseline (the pre-refactor fleet numbers); a loss beyond
+    ``max_overhead`` is a failure.  Both runs must measure the same
+    scale leg, otherwise the ratio is meaningless.
+    """
+    problems = []
+    base_metrics = baseline.get("metrics")
+    if not isinstance(base_metrics, dict):
+        return ["baseline has no metrics object"]
+    base_scale = base_metrics.get("scale")
+    scale = metrics.get("scale")
+    if not isinstance(base_scale, dict) or not isinstance(scale, dict):
+        return ["both artifacts need a metrics.scale object"]
+    for key in ("machines", "days"):
+        if base_scale.get(key) != scale.get(key):
+            problems.append(
+                f"scale legs differ on {key}: baseline "
+                f"{base_scale.get(key)} vs current {scale.get(key)}; "
+                "overhead comparison needs identical workloads"
+            )
+    if problems:
+        return problems
+    base_rate = base_scale.get("machines_per_s")
+    rate = scale.get("machines_per_s")
+    if not isinstance(base_rate, (int, float)) or base_rate <= 0:
+        return ["baseline scale.machines_per_s must be positive"]
+    overhead = (base_rate - rate) / base_rate
+    if overhead > max_overhead:
+        problems.append(
+            f"scale throughput {rate:,} machines/s is "
+            f"{overhead:.1%} below the baseline {base_rate:,} "
+            f"(tolerated: {max_overhead:.0%})"
+        )
+    return problems
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
@@ -290,6 +334,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="FILE",
         default=None,
         help="validate an existing artifact's schema and exit",
+    )
+    parser.add_argument(
+        "--against",
+        metavar="FILE",
+        default=None,
+        help="overhead guard: compare this run's scale throughput "
+        "against a baseline artifact and fail on regression beyond "
+        "--max-overhead",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.05,
+        help="tolerated fractional throughput loss vs --against "
+        "(default 0.05 = 5%%)",
     )
     args = parser.parse_args(argv)
 
@@ -356,6 +415,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.against is not None:
+        with open(args.against, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        problems = check_overhead(
+            metrics, baseline, max_overhead=args.max_overhead
+        )
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        base_rate = baseline["metrics"]["scale"]["machines_per_s"]
+        rate = scale["machines_per_s"]
+        print(
+            f"overhead guard: {rate:,} vs baseline {base_rate:,} "
+            f"machines/s ({(base_rate - rate) / base_rate:+.1%} "
+            f"overhead, {args.max_overhead:.0%} tolerated)"
+        )
     return 0
 
 

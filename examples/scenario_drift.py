@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Catalog drift: the fault mix changes mid-trace, the policy ages.
+
+The paper trains on a *stationary* workload — the fault catalog that
+generated the training prefix also generates the evaluation suffix.
+The scenario-model layer drops that assumption: a drift scenario splits
+the simulated duration into epochs, each with a perturbed copy of the
+catalog (same fault identities, different weights / cure rates / cost
+scales).  Training still sees only the prefix, so the later epochs
+follow rules the learner never observed.
+
+This example runs the identical generate → mine → train → evaluate
+pipeline on the stationary workload and on its 3-epoch drifted variant
+and compares the trained policy's relative downtime.  The readout to
+expect: drift *erodes* the trained policy's edge — the gap between
+trained and user-defined narrows (and past some drift strength would
+invert), which is exactly the paper's Section 6 argument for periodic
+retraining.
+
+Run:  python examples/scenario_drift.py
+"""
+
+from repro.experiments.families import run_family
+from repro.scenario.presets import drift_spec
+from repro.tracegen.workload import small_config
+
+
+def main() -> None:
+    config = small_config(seed=7)
+    spec = drift_spec()
+    print(
+        f"Drift scenario: {spec.drift_epochs} epochs, "
+        f"strength {spec.drift_strength:g} "
+        "(log-normal jitter on weights/cures/costs)\n"
+    )
+
+    results = {}
+    for family in ("stationary", "drift"):
+        print(f"Running {family} pipeline (generate → mine → train → "
+              "evaluate) ...")
+        results[family] = run_family(family, config)
+
+    print()
+    header = f"{'family':14} {'epochs':>6} {'user':>8} {'trained':>8} {'hybrid':>8}"
+    print(header)
+    print("-" * len(header))
+    for family, r in results.items():
+        print(
+            f"{family:14} {r.epoch_count:>6} {r.user_cost:>8.4f} "
+            f"{r.trained_cost:>8.4f} {r.hybrid_cost:>8.4f}"
+        )
+
+    stationary = results["stationary"].trained_cost
+    drifted = results["drift"].trained_cost
+    print(
+        f"\nTrained relative downtime: {stationary:.4f} stationary → "
+        f"{drifted:.4f} under drift."
+    )
+    if drifted > stationary:
+        print(
+            "Drift erodes the trained policy — later epochs follow cure "
+            "rates the training prefix never saw.  The paper's remedy "
+            "is periodic retraining on fresh history "
+            "(see examples/adaptive_recovery.py)."
+        )
+    else:
+        print(
+            "At this seed the drifted epochs happen to stay favorable; "
+            "raise drift_strength to see the erosion."
+        )
+
+
+if __name__ == "__main__":
+    main()

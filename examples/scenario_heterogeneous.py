@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Heterogeneous machine classes: per-(class, error-type) policies.
+
+Real fleets are not uniform — storage nodes cost more downtime per
+repair hour than stateless web frontends, and older hardware cures
+less reliably.  The scenario-model layer expresses this as *machine
+classes*: contiguous blocks of machines with per-class action-cost and
+cure-rate multipliers.  Each class decorates its symptoms
+(``error:X@c0`` vs ``error:X@c1``), so the mining stage induces
+separate error types per class and Q-learning trains a *separate
+policy per (class, error type)* — cheap-to-repair classes can afford
+longer ladders, expensive ones should escalate sooner.
+
+The flip side this example shows: splitting every error type across
+classes thins the training data each type sees, so the trained
+policy's coverage and edge shrink relative to the homogeneous run —
+the classic data-fragmentation trade-off.
+
+Run:  python examples/scenario_heterogeneous.py
+"""
+
+from collections import Counter
+
+from repro.experiments.families import run_family
+from repro.experiments.scenario import build_scenario
+from repro.scenario.presets import heterogeneous_spec
+from repro.tracegen.workload import small_config
+
+import dataclasses
+
+
+def main() -> None:
+    spec = heterogeneous_spec()
+    config = dataclasses.replace(small_config(seed=7), scenario=spec)
+    print(
+        f"Heterogeneous scenario: {spec.machine_classes} machine classes, "
+        f"cost spread ±{spec.class_cost_spread:g}, "
+        f"cure spread ∓{spec.class_cure_spread:g}\n"
+    )
+
+    scenario = build_scenario(config)
+    model = scenario.trace.scenario
+    counts = Counter()
+    for process in scenario.processes:
+        symptom = process.symptoms[0]
+        tag = symptom.rsplit("@", 1)[1] if "@" in symptom else "untagged"
+        counts[tag] += 1
+    print("Recovery processes per machine class "
+          "(classes decorate their symptoms):")
+    for name in sorted(counts):
+        print(f"  {name:>10}: {counts[name]:>5} processes")
+    print(f"\nMachine classes in the model: "
+          f"{[c.name for c in model.classes]}")
+    print(f"Induced error types: {len(scenario.registry)} "
+          "(~3x the homogeneous count — one per class per fault family)")
+
+    print("\nComparing against the homogeneous baseline ...")
+    baseline = run_family("stationary", small_config(seed=7))
+    hetero = run_family("heterogeneous", small_config(seed=7))
+    header = (
+        f"{'family':14} {'classes':>7} {'types':>6} "
+        f"{'trained':>8} {'coverage':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for r in (baseline, hetero):
+        print(
+            f"{r.family:14} {r.class_count:>7} {r.error_types:>6} "
+            f"{r.trained_cost:>8.4f} {r.trained_coverage:>8.2%}"
+        )
+    print(
+        "\nPer-class error types mean per-class policies — but each one "
+        "trains on a fraction of the homogeneous data, so expect thinner "
+        "coverage until the log grows proportionally."
+    )
+
+
+if __name__ == "__main__":
+    main()

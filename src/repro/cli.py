@@ -40,6 +40,7 @@ from repro.recoverylog.io import (
     write_log_text,
 )
 from repro.recoverylog.stats import compute_statistics
+from repro.scenario.presets import ScenarioSpec
 from repro.tracegen.calibration import calibrate
 from repro.tracegen.generator import generate_trace
 from repro.tracegen.workload import (
@@ -87,6 +88,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine: the event-driven reference (default, "
         "byte-identical to historical traces) or the vectorized fleet "
         "engine under the per-machine RNG discipline",
+    )
+    generate.add_argument(
+        "--drift",
+        type=int,
+        default=1,
+        metavar="EPOCHS",
+        help="catalog-drift epochs: fault weights, cure probabilities "
+        "and cost scales shift at each evenly-spaced boundary "
+        "(default 1 = stationary)",
+    )
+    generate.add_argument(
+        "--drift-strength",
+        type=float,
+        default=0.8,
+        help="scale of the per-epoch perturbation (log-normal jitter)",
+    )
+    generate.add_argument(
+        "--machine-classes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="heterogeneous machine classes with per-class action costs "
+        "and cure rates; symptoms are decorated symptom@class so "
+        "per-(class, error type) policies emerge (default 1 = "
+        "homogeneous)",
+    )
+    generate.add_argument(
+        "--cascade",
+        type=float,
+        default=0.0,
+        metavar="STRENGTH",
+        help="cascading faults: expected induced neighbour onsets per "
+        "onset, in [0, 1) (default 0 = independent; forces the event "
+        "backend)",
     )
 
     inspect = commands.add_parser(
@@ -176,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=(
             "table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
             "fig10", "fig11", "fig12", "fig13", "fig14", "summary",
+            "families",
         ),
     )
     experiment.add_argument("--seed", type=int, default=7)
@@ -329,10 +365,25 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                 config.cluster, backend=args.cluster_backend
             ),
         )
+    spec = ScenarioSpec(
+        drift_epochs=args.drift,
+        drift_strength=args.drift_strength,
+        machine_classes=args.machine_classes,
+        cascade_strength=args.cascade,
+    )
+    if not spec.is_trivial:
+        config = dataclasses.replace(config, scenario=spec)
     trace = generate_trace(config)
     writer = write_log_jsonl if args.format == "jsonl" else write_log_text
     count = writer(trace.log, args.out)
     processes = trace.log.to_processes()
+    if trace.scenario is not None:
+        model = trace.scenario
+        print(
+            f"scenario: {model.epoch_count} epoch(s), "
+            f"{model.class_count} machine class(es), "
+            f"cascade={'on' if model.has_cascade else 'off'}"
+        )
     print(f"wrote {count:,} entries ({len(processes):,} recovery "
           f"processes) to {args.out}")
     return 0
@@ -470,6 +521,15 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import figures
     from repro.experiments.scenario import build_scenario
+
+    if args.figure == "families":
+        # Builds its own per-family scenarios; the shared stationary
+        # scenario below would be wasted work.
+        from repro.experiments.families import scenario_families
+
+        report = scenario_families(_SCALES[args.scale](seed=args.seed))
+        print(report.render())
+        return 0
 
     scenario = build_scenario(_SCALES[args.scale](seed=args.seed))
     if args.figure == "table1":

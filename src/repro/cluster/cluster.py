@@ -18,11 +18,7 @@ from typing import Dict, List, Optional
 from repro.actions.action import ActionCatalog, RepairAction, default_catalog
 from repro.cluster.detector import FaultDetector
 from repro.cluster.engine import SimulationEngine
-from repro.cluster.faults import (
-    FaultCatalog,
-    FaultType,
-    effective_cure_probabilities,
-)
+from repro.cluster.faults import FaultType
 from repro.cluster.machine import Machine, MachineState
 from repro.cluster.monitor import EventMonitor
 from repro.cluster.randomness import (
@@ -33,6 +29,8 @@ from repro.cluster.randomness import (
 from repro.errors import ConfigurationError
 from repro.policies.base import Policy
 from repro.recoverylog.log import RecoveryLog
+from repro.scenario.compiled import compile_scenario
+from repro.scenario.model import FaultModel, as_scenario_model
 from repro.session.core import RecoverySession
 from repro.session.trace import EpisodeTelemetry
 from repro.util.rng import RngStreams
@@ -161,8 +159,13 @@ class ClusterSimulator:
     config:
         Cluster parameters.
     faults:
-        Ground-truth fault catalog (validated against ``actions`` for
-        cure-probability monotonicity).
+        Ground-truth fault model: a plain
+        :class:`~repro.cluster.faults.FaultCatalog` (the stationary
+        homogeneous case) or a
+        :class:`~repro.scenario.model.ScenarioModel` adding catalog
+        drift, machine classes and/or cascading faults.  Every epoch's
+        catalog is validated against ``actions`` for cure-probability
+        monotonicity.
     policy:
         The online recovery policy scheduling repair actions.
     actions:
@@ -179,7 +182,7 @@ class ClusterSimulator:
     def __init__(
         self,
         config: ClusterConfig,
-        faults: FaultCatalog,
+        faults: FaultModel,
         policy: Policy,
         actions: Optional[ActionCatalog] = None,
         streams: Optional[RngStreams] = None,
@@ -187,14 +190,17 @@ class ClusterSimulator:
         episode_telemetry: Optional[EpisodeTelemetry] = None,
     ) -> None:
         self.config = config
-        self.faults = faults
+        self.scenario = as_scenario_model(faults)
+        #: The epoch-0 catalog — the full fault roster (legacy surface).
+        self.faults = self.scenario.base_catalog
         self.policy = policy
         self.actions = actions if actions is not None else default_catalog()
-        # Validates monotonicity and resolves hypothesis-2 inheritance.
-        self._cures: Dict[str, Dict[str, float]] = {
-            fault.name: effective_cure_probabilities(fault, self.actions)
-            for fault in faults
-        }
+        # Validates every epoch's monotonicity and resolves hypothesis-2
+        # inheritance; both backends read cure/cost values from these
+        # arrays, so per-class multipliers agree to the last bit.
+        self._compiled = compile_scenario(self.scenario, self.actions)
+        self._fault_ids = self._compiled.fault_ids()
+        self._action_ids = self._compiled.action_ids()
         self._streams = streams if streams is not None else RngStreams()
         # The RNG seam: the same event loop can draw from the historical
         # shared streams (default) or from counter-based per-machine
@@ -211,14 +217,30 @@ class ClusterSimulator:
         self.monitor = EventMonitor()
         self.detector = FaultDetector(self._on_detection)
         self.monitor.subscribe(self.detector.observe)
+        class_ids = self.scenario.class_assignment(config.machine_count)
         self.machines: Dict[str, Machine] = {
             config.machine_name_format.format(i): Machine(
-                config.machine_name_format.format(i), index=i
+                config.machine_name_format.format(i),
+                index=i,
+                class_id=int(class_ids[i]),
             )
             for i in range(config.machine_count)
         }
+        # Dense index -> machine, for cascade neighbor addressing.
+        self._machine_list: List[Machine] = list(self.machines.values())
         # Which of a machine's overlapping faults remain uncured.
         self._uncured: Dict[str, List[FaultType]] = {}
+        # Epoch governing each machine's open recovery process (set at
+        # fault onset; rules cures and costs for the whole process).
+        self._proc_epoch: Dict[str, int] = {}
+        # Arrival generations: an induced (cascade) onset supersedes the
+        # machine's pending natural arrival by bumping its generation,
+        # so the stale event is dropped when it fires.  Without a
+        # cascade the generation never changes and the guard is inert.
+        self._arrival_generation: Dict[str, int] = {
+            name: 0 for name in self.machines
+        }
+        self._cascade = self._compiled.cascade
         # One live recovery session per machine currently recovering:
         # the shared episode state machine decides (N-cap first, then
         # the policy) when an action starts and observes the outcome
@@ -254,28 +276,52 @@ class ClusterSimulator:
         arrival = from_time + gap
         if arrival > self.config.duration:
             return
-        self.engine.schedule_at(arrival, lambda m=machine: self._on_fault(m))
+        generation = self._arrival_generation[machine.name]
+        self.engine.schedule_at(
+            arrival, lambda m=machine, g=generation: self._on_arrival(m, g)
+        )
 
-    def _on_fault(self, machine: Machine) -> None:
-        fault = self.faults.fault_types[
-            self._rand.fault_index(machine.index, self.faults)
-        ]
+    def _on_arrival(self, machine: Machine, generation: int) -> None:
+        """A natural fault arrival, unless a cascade superseded it."""
+        if self._arrival_generation[machine.name] != generation:
+            return
+        self._on_fault(machine)
+
+    def _on_fault(
+        self, machine: Machine, induced_fault_id: Optional[int] = None
+    ) -> None:
+        now = self.engine.now
+        # The onset epoch governs the whole recovery process: fault
+        # sampling, cure probabilities, cost scales and secondary
+        # emission all read this epoch's parameters.
+        epoch = self.scenario.epoch_at(now)
+        catalog = self.scenario.epochs[epoch].catalog
         noise_fault: Optional[FaultType] = None
-        if (
-            len(self.faults) > 1
-            and self._rand.noise_uniform(machine.index)
-            < self.config.noise_probability
-        ):
-            while noise_fault is None or noise_fault.name == fault.name:
-                noise_fault = self.faults.fault_types[
-                    self._rand.fault_index(machine.index, self.faults)
-                ]
+        if induced_fault_id is None:
+            fault = catalog.fault_types[
+                self._rand.fault_index(machine.index, catalog)
+            ]
+            if (
+                len(catalog) > 1
+                and self._rand.noise_uniform(machine.index)
+                < self.config.noise_probability
+            ):
+                while noise_fault is None or noise_fault.name == fault.name:
+                    noise_fault = catalog.fault_types[
+                        self._rand.fault_index(machine.index, catalog)
+                    ]
+        else:
+            # Cascade-induced onsets are pure: the target fault is fixed
+            # by the coupling, and no overlapping noise fault is drawn.
+            fault = catalog.fault_types[induced_fault_id]
         machine.fail(fault, noise_fault)
         self._uncured[machine.name] = [fault] + (
             [noise_fault] if noise_fault is not None else []
         )
-        now = self.engine.now
-        self.monitor.record_symptom(now, machine.name, fault.primary_symptom)
+        self._proc_epoch[machine.name] = epoch
+        self.monitor.record_symptom(
+            now, machine.name, self._decorate(machine, fault.primary_symptom)
+        )
         self._emit_secondary_symptoms(machine, fault, after=now)
         if noise_fault is not None:
             # The overlapping fault's symptoms appear strictly after the
@@ -283,13 +329,17 @@ class ClusterSimulator:
             offset = self._rand.symptom_offset(
                 machine.index, 30.0, self.config.secondary_symptom_window
             )
+            symptom = self._decorate(machine, noise_fault.primary_symptom)
             self.engine.schedule_at(
                 now + offset,
-                lambda m=machine, f=noise_fault: self._emit_if_recovering(
-                    m, f.primary_symptom
-                ),
+                lambda m=machine, s=symptom: self._emit_if_recovering(m, s),
             )
             self._emit_secondary_symptoms(machine, noise_fault, after=now + offset)
+        if self._cascade is not None:
+            self._trigger_cascade(machine, self._fault_ids[fault.name])
+
+    def _decorate(self, machine: Machine, symptom: str) -> str:
+        return self.scenario.decorate(symptom, machine.class_id)
 
     def _emit_secondary_symptoms(
         self, machine: Machine, fault: FaultType, after: float
@@ -302,10 +352,68 @@ class ClusterSimulator:
                 offset = self._rand.symptom_offset(
                     machine.index, 1.0, self.config.secondary_symptom_window
                 )
+                decorated = self._decorate(machine, symptom)
                 self.engine.schedule_at(
                     after + offset,
-                    lambda m=machine, s=symptom: self._emit_if_recovering(m, s),
+                    lambda m=machine, s=decorated: self._emit_if_recovering(
+                        m, s
+                    ),
                 )
+
+    # ------------------------------------------------------------------
+    # Cascading faults (event backend only)
+    # ------------------------------------------------------------------
+    def _trigger_cascade(self, machine: Machine, fault_id: int) -> None:
+        """Flip induced-onset coins for each (neighbor, target fault).
+
+        Coins and delays draw from the *source* machine's channels, in
+        the deterministic (distance, side, target) order, so a cascade
+        run is reproducible under both RNG disciplines.  Induced onsets
+        re-enter :meth:`_on_fault` and may cascade further — a
+        subcritical branching process by model validation.
+        """
+        cascade = self._cascade
+        targets = cascade.targets[fault_id]
+        if not targets:
+            return
+        count = self.config.machine_count
+        now = self.engine.now
+        seen = {machine.index}
+        for distance in range(1, cascade.radius + 1):
+            for neighbor_index in (
+                (machine.index + distance) % count,
+                (machine.index - distance) % count,
+            ):
+                if neighbor_index in seen:
+                    continue  # small fleets: the ring wraps onto itself
+                seen.add(neighbor_index)
+                neighbor = self._machine_list[neighbor_index]
+                for target in targets:
+                    coin = self._rand.noise_uniform(machine.index)
+                    if coin >= cascade.matrix[fault_id, target]:
+                        continue
+                    offset = self._rand.symptom_offset(
+                        machine.index,
+                        cascade.delay_low,
+                        cascade.delay_high,
+                    )
+                    self.engine.schedule_at(
+                        now + offset,
+                        lambda n=neighbor, t=target: self._on_induced_fault(
+                            n, t
+                        ),
+                    )
+
+    def _on_induced_fault(self, machine: Machine, fault_id: int) -> None:
+        """An induced onset fires — if the neighbor can still fail."""
+        if machine.state is not MachineState.HEALTHY:
+            return
+        if self.engine.now > self.config.duration:
+            return
+        # Supersede the machine's pending natural arrival; the next one
+        # is scheduled when this induced recovery completes.
+        self._arrival_generation[machine.name] += 1
+        self._on_fault(machine, induced_fault_id=fault_id)
 
     def _emit_if_recovering(self, machine: Machine, symptom: str) -> None:
         """Emit a symptom only while the error is still open."""
@@ -345,7 +453,18 @@ class ClusterSimulator:
         machine.record_attempt(action.name)
         self.monitor.record_action(now, machine.name, action.name)
         fault = machine.active_fault
-        scale = fault.cost_scale if fault is not None else 1.0
+        if fault is not None:
+            # One precompiled (epoch, class, fault) factor — the same
+            # float64 value the fleet backend multiplies by.
+            scale = float(
+                self._compiled.cost[
+                    self._proc_epoch[machine.name],
+                    machine.class_id,
+                    self._fault_ids[fault.name],
+                ]
+            )
+        else:
+            scale = 1.0
         duration = (
             self._rand.action_duration(machine.index, action.cost_model)
             * scale
@@ -360,11 +479,18 @@ class ClusterSimulator:
     def _on_action_complete(
         self, machine: Machine, action: RepairAction, duration: float
     ) -> None:
+        epoch = self._proc_epoch[machine.name]
+        action_id = self._action_ids[action.name]
         remaining = [
             fault
             for fault in self._uncured[machine.name]
             if self._rand.cure_uniform(machine.index)
-            >= self._cures[fault.name][action.name]
+            >= self._compiled.cure[
+                epoch,
+                machine.class_id,
+                self._fault_ids[fault.name],
+                action_id,
+            ]
         ]
         self._uncured[machine.name] = remaining
         now = self.engine.now
@@ -385,9 +511,10 @@ class ClusterSimulator:
                 < self.config.symptom_reemission_probability
             ):
                 offset = self._rand.symptom_offset(machine.index, 1.0, 120.0)
+                symptom = self._decorate(machine, fault.primary_symptom)
                 self.engine.schedule_at(
                     now + offset,
-                    lambda m=machine, s=fault.primary_symptom: self._emit_if_recovering(
+                    lambda m=machine, s=symptom: self._emit_if_recovering(
                         m, s
                     ),
                 )

@@ -71,19 +71,29 @@ class FaultType:
     cost_scale: float = 1.0
 
     def __post_init__(self) -> None:
+        # Validate the name first so every later message can cite it —
+        # a 40-fault generated catalog is unhelpful to debug otherwise.
         if not self.name:
             raise ConfigurationError("fault name must be non-empty")
+        label = f"fault {self.name!r}"
         if not self.primary_symptom:
-            raise ConfigurationError("primary_symptom must be non-empty")
+            raise ConfigurationError(
+                f"{label}: primary_symptom must be non-empty"
+            )
         if self.primary_symptom in self.secondary_symptoms:
             raise ConfigurationError(
-                "primary symptom must not repeat among secondary symptoms"
+                f"{label}: primary symptom {self.primary_symptom!r} must "
+                "not repeat among secondary symptoms"
             )
-        check_probability("secondary_probability", self.secondary_probability)
+        check_probability(
+            f"{label}: secondary_probability", self.secondary_probability
+        )
         for action_name, prob in self.cure_probabilities.items():
-            check_probability(f"cure_probabilities[{action_name}]", prob)
-        check_positive("weight", self.weight)
-        check_positive("cost_scale", self.cost_scale)
+            check_probability(
+                f"{label}: cure_probabilities[{action_name!r}]", prob
+            )
+        check_positive(f"{label}: weight", self.weight)
+        check_positive(f"{label}: cost_scale", self.cost_scale)
 
     @property
     def all_symptoms(self) -> Tuple[str, ...]:
@@ -105,13 +115,21 @@ class FaultCatalog:
             raise ConfigurationError("fault catalog needs at least one fault")
         names = [f.name for f in fault_types]
         if len(set(names)) != len(names):
-            raise ConfigurationError("fault names must be distinct")
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ConfigurationError(
+                f"fault names must be distinct; duplicated: {duplicates}"
+            )
         primaries = [f.primary_symptom for f in fault_types]
         if len(set(primaries)) != len(primaries):
+            shared = sorted({p for p in primaries if primaries.count(p) > 1})
+            colliders = sorted(
+                f.name for f in fault_types if f.primary_symptom in shared
+            )
             raise ConfigurationError(
                 "primary symptoms must be distinct across fault types; "
                 "the paper's error-type induction assumes the initial "
-                "symptom identifies the symptom set"
+                f"symptom identifies the symptom set; symptom(s) {shared} "
+                f"shared by faults {colliders}"
             )
         self._faults: Tuple[FaultType, ...] = tuple(fault_types)
         self._by_name: Dict[str, FaultType] = {f.name: f for f in fault_types}

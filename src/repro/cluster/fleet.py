@@ -53,11 +53,6 @@ import numpy as np
 
 from repro.actions.action import ActionCatalog, default_catalog
 from repro.cluster.cluster import ClusterConfig, ClusterSimulator
-from repro.cluster.faults import (
-    CompiledFaults,
-    FaultCatalog,
-    compile_fault_arrays,
-)
 from repro.cluster.randomness import (
     ARRIVALS,
     CURES,
@@ -73,6 +68,8 @@ from repro.mdp.state import RecoveryState, StateIndex
 from repro.policies.base import Policy
 from repro.recoverylog.entry import EntryKind, LogEntry, SUCCESS_DESCRIPTION
 from repro.recoverylog.log import RecoveryLog
+from repro.scenario.compiled import CompiledScenario, compile_scenario
+from repro.scenario.model import FaultModel, as_scenario_model
 from repro.session.core import forced_action
 from repro.session.driver import decide_wave
 from repro.session.trace import EpisodeTelemetry, EpisodeTrace, StepTrace
@@ -295,7 +292,7 @@ class FleetEngine:
     def __init__(
         self,
         config: ClusterConfig,
-        faults: FaultCatalog,
+        faults: FaultModel,
         policy: Policy,
         actions: Optional[ActionCatalog] = None,
         streams: Optional[RngStreams] = None,
@@ -316,12 +313,24 @@ class FleetEngine:
                 "global decision order); use simulate_cluster(), which "
                 "falls back to the sequential reference backend"
             )
+        self.scenario = as_scenario_model(faults)
+        if not self.scenario.fleet_compatible:
+            raise ConfigurationError(
+                "FleetEngine cannot run cascading scenarios: induced "
+                "onsets couple machines, breaking the independence "
+                "property wave execution relies on; use "
+                "simulate_cluster(), which falls back to the event "
+                "backend under the machine RNG discipline"
+            )
         self.config = config
-        self.faults = faults
+        #: The epoch-0 catalog — the full fault roster (legacy surface).
+        self.faults = self.scenario.base_catalog
         self.policy = policy
         self.actions = actions if actions is not None else default_catalog()
-        self.compiled: CompiledFaults = compile_fault_arrays(
-            faults, self.actions
+        # Validates every epoch against the action catalog; the event
+        # backend reads the same arrays, so values agree to the bit.
+        self.compiled: CompiledScenario = compile_scenario(
+            self.scenario, self.actions
         )
         self._streams = streams if streams is not None else RngStreams()
         self._rand = MachineRandomSource(
@@ -329,37 +338,51 @@ class FleetEngine:
         )
         self._telemetry = episode_telemetry
         self._index = StateIndex(self.compiled.action_names)
-        self._action_ids: Dict[str, int] = {
-            name: aid for aid, name in enumerate(self.compiled.action_names)
-        }
+        self._action_ids: Dict[str, int] = self.compiled.action_ids()
         self._forced_id = self._action_ids[self.actions.strongest.name]
         self._models = [a.cost_model for a in self.actions.by_strength()]
+        # Per-machine class ids (deterministic contiguous blocks).
+        self._class_ids = self.scenario.class_assignment(config.machine_count)
 
-        # Description string interning.
+        # Description string interning.  Symptom tables carry one row per
+        # machine class (class-decorated strings); with a single class
+        # the row is the undecorated legacy table.
         self._desc_ids: Dict[str, int] = {}
         self._descs: List[str] = []
+        C = self.compiled.class_count
         F = self.compiled.fault_count
         self._primary_desc = np.array(
-            [self._intern(s) for s in self.compiled.primary_symptoms],
+            [
+                [self._intern(s) for s in self.compiled.primary_symptoms[cid]]
+                for cid in range(C)
+            ],
             dtype=np.int64,
         )
         width = self.compiled.max_secondaries
-        self._secondary_desc = np.full((F, max(width, 1)), -1, dtype=np.int64)
+        self._secondary_desc = np.full(
+            (C, F, max(width, 1)), -1, dtype=np.int64
+        )
         self._secondary_count = np.zeros(F, dtype=np.int64)
-        for fid, symptoms in enumerate(self.compiled.secondary_symptoms):
-            self._secondary_count[fid] = len(symptoms)
-            for slot, symptom in enumerate(symptoms):
-                self._secondary_desc[fid, slot] = self._intern(symptom)
+        for cid in range(C):
+            for fid, symptoms in enumerate(self.compiled.secondary_symptoms[cid]):
+                self._secondary_count[fid] = len(symptoms)
+                for slot, symptom in enumerate(symptoms):
+                    self._secondary_desc[cid, fid, slot] = self._intern(symptom)
         self._action_desc = np.array(
             [self._intern(n) for n in self.compiled.action_names],
             dtype=np.int64,
         )
         self._success_desc = self._intern(SUCCESS_DESCRIPTION)
-        # Initial MDP state id per fault (error type = primary symptom).
+        # Initial MDP state id per (class, fault): the error type is the
+        # class-decorated primary symptom, so multi-class scenarios
+        # train and serve per-(class, error type) policies naturally.
         self._initial_sid = np.array(
             [
-                self._index.intern(RecoveryState.initial(s))
-                for s in self.compiled.primary_symptoms
+                [
+                    self._index.intern(RecoveryState.initial(s))
+                    for s in self.compiled.primary_symptoms[cid]
+                ]
+                for cid in range(C)
             ],
             dtype=np.int64,
         )
@@ -392,6 +415,10 @@ class FleetEngine:
 
         phase = np.full(N, _PH_ONSET, dtype=np.int8)
         t_event = np.zeros(N, dtype=np.float64)
+        # Epoch governing each machine's current recovery process —
+        # resolved once at onset, like the event backend's per-process
+        # epoch pin, so mid-process drift never changes the rules.
+        cur_epoch = np.zeros(N, dtype=np.int64)
         fault_id = np.full(N, -1, dtype=np.int64)
         noise_id = np.full(N, -1, dtype=np.int64)
         main_open = np.zeros(N, dtype=bool)
@@ -427,23 +454,23 @@ class FleetEngine:
             onset = np.flatnonzero(phase == _PH_ONSET).astype(np.intp)
             if onset.size:
                 next_proc = self._onset_wave(
-                    onset, t_event, phase, fault_id, noise_id, main_open,
-                    noise_open, attempts, state_sid, cur_proc,
+                    onset, t_event, phase, cur_epoch, fault_id, noise_id,
+                    main_open, noise_open, attempts, state_sid, cur_proc,
                     failure_counts, log, candidates, procs, next_proc,
                 )
             decide = np.flatnonzero(phase == _PH_DECIDE).astype(np.intp)
             if decide.size:
                 self._decide_wave(
-                    decide, t_event, phase, fault_id, attempts, state_sid,
-                    action_id, pending_cost, pending_forced, pending_source,
-                    pending_expected, log,
+                    decide, t_event, phase, cur_epoch, fault_id, attempts,
+                    state_sid, action_id, pending_cost, pending_forced,
+                    pending_source, pending_expected, log,
                 )
             complete = np.flatnonzero(phase == _PH_COMPLETE).astype(np.intp)
             if complete.size:
                 self._complete_wave(
-                    complete, t_event, phase, fault_id, noise_id, main_open,
-                    noise_open, attempts, state_sid, action_id, cur_proc,
-                    pending_cost, pending_forced, pending_source,
+                    complete, t_event, phase, cur_epoch, fault_id, noise_id,
+                    main_open, noise_open, attempts, state_sid, action_id,
+                    cur_proc, pending_cost, pending_forced, pending_source,
                     pending_expected, recovery_counts, log, candidates,
                     steps, success_scatter,
                 )
@@ -487,7 +514,8 @@ class FleetEngine:
             proc_fault_times=procs.column("t", np.float64),
             proc_success_times=proc_success,
             proc_fault_ids=self._primary_desc[
-                procs.column("f", np.int64)
+                self._class_ids[procs.column("m", np.int64)],
+                procs.column("f", np.int64),
             ] if next_proc else np.empty(0, dtype=np.int64),
             step_procs=steps.column("p", np.int64),
             step_numbers=steps.column("n", np.int64),
@@ -509,10 +537,35 @@ class FleetEngine:
         return result
 
     # ------------------------------------------------------------------
+    def _sample_faults(self, eids: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Inverse-CDF fault sampling against each machine's epoch.
+
+        The single-epoch path is the exact
+        :meth:`~repro.cluster.faults.FaultCatalog.index_from_uniform`
+        formula; multi-epoch runs apply the same formula per distinct
+        epoch, so a stationary scenario stays bit-identical.
+        """
+        com = self.compiled
+        last = com.fault_count - 1
+        if com.epoch_count == 1:
+            return np.minimum(
+                np.searchsorted(com.cumulative[0], u, side="right"), last
+            ).astype(np.int64)
+        fids = np.empty(u.shape, dtype=np.int64)
+        for eid in np.unique(eids).tolist():
+            in_epoch = eids == eid
+            fids[in_epoch] = np.minimum(
+                np.searchsorted(
+                    com.cumulative[eid], u[in_epoch], side="right"
+                ),
+                last,
+            )
+        return fids
+
     def _onset_wave(
-        self, I, t_event, phase, fault_id, noise_id, main_open, noise_open,
-        attempts, state_sid, cur_proc, failure_counts, log, candidates,
-        procs, next_proc,
+        self, I, t_event, phase, cur_epoch, fault_id, noise_id, main_open,
+        noise_open, attempts, state_sid, cur_proc, failure_counts, log,
+        candidates, procs, next_proc,
     ) -> int:
         cfg = self.config
         com = self.compiled
@@ -520,29 +573,34 @@ class FleetEngine:
         t = t_event[I].copy()
         failure_counts[I] += 1
 
-        fids = np.asarray(
-            self.faults.index_from_uniform(rand.uniform_wave(I, ARRIVALS)),
-            dtype=np.int64,
-        )
+        # Epoch resolution at onset time: zero draws, same searchsorted
+        # formula as the event backend's scalar ScenarioModel.epoch_at.
+        if com.epoch_count == 1:
+            eids = np.zeros(I.size, dtype=np.int64)
+        else:
+            eids = self.scenario.epochs_at(t)
+        cur_epoch[I] = eids
+        cls = self._class_ids[I]
+
+        fids = self._sample_faults(eids, rand.uniform_wave(I, ARRIVALS))
         nids = np.full(I.size, -1, dtype=np.int64)
         if com.fault_count > 1:
             coin = rand.uniform_wave(I, ARRIVALS)
             drawing = coin < cfg.noise_probability
             pending = I[drawing]
+            pending_eid = eids[drawing]
             pending_fid = fids[drawing]
             pending_pos = np.flatnonzero(drawing)
             # Rejection loop: redraw while the overlap equals the main
             # fault, exactly as the reference backend does per machine.
             while pending.size:
-                draw = np.asarray(
-                    self.faults.index_from_uniform(
-                        rand.uniform_wave(pending, ARRIVALS)
-                    ),
-                    dtype=np.int64,
+                draw = self._sample_faults(
+                    pending_eid, rand.uniform_wave(pending, ARRIVALS)
                 )
                 ok = draw != pending_fid
                 nids[pending_pos[ok]] = draw[ok]
                 pending = pending[~ok]
+                pending_eid = pending_eid[~ok]
                 pending_fid = pending_fid[~ok]
                 pending_pos = pending_pos[~ok]
 
@@ -551,14 +609,14 @@ class FleetEngine:
         main_open[I] = True
         noise_open[I] = nids >= 0
         attempts[I] = 0
-        state_sid[I] = self._initial_sid[fids]
+        state_sid[I] = self._initial_sid[cls, fids]
 
         # Primary symptom (recorded synchronously; always the process's
         # detection trigger, since stragglers never precede it).
         log.append(
             t=t, m=I,
             k=np.full(I.size, _KIND_SYMPTOM, dtype=np.int8),
-            d=self._primary_desc[fids],
+            d=self._primary_desc[cls, fids],
         )
 
         # Detection delay -> first decision time.
@@ -573,7 +631,7 @@ class FleetEngine:
 
         # Main fault's secondary-symptom candidates, slot by slot so each
         # machine draws coin/offset pairs in list order.
-        self._queue_secondaries(I, fids, t, candidates)
+        self._queue_secondaries(I, fids, eids, t, candidates)
 
         # Overlapping noise fault: its primary appears strictly after the
         # main primary; its secondaries hang off that offset time.
@@ -586,16 +644,21 @@ class FleetEngine:
             )
             noise_after = t[noisy] + offset
             candidates.append(
-                t=noise_after, m=nm, d=self._primary_desc[nids[noisy]]
+                t=noise_after, m=nm,
+                d=self._primary_desc[cls[noisy], nids[noisy]],
             )
-            self._queue_secondaries(nm, nids[noisy], noise_after, candidates)
+            self._queue_secondaries(
+                nm, nids[noisy], eids[noisy], noise_after, candidates
+            )
 
         pids = np.arange(next_proc, next_proc + I.size, dtype=np.int64)
         cur_proc[I] = pids
         procs.append(m=I, t=t, f=fids)
         return next_proc + I.size
 
-    def _queue_secondaries(self, machines, fids, after, candidates) -> None:
+    def _queue_secondaries(
+        self, machines, fids, eids, after, candidates
+    ) -> None:
         cfg = self.config
         rand = self._rand
         counts = self._secondary_count[fids]
@@ -604,7 +667,9 @@ class FleetEngine:
             has = counts > slot
             sub = machines[has]
             coin = rand.uniform_wave(sub, SYMPTOMS)
-            emit = coin < self.compiled.secondary_probability[fids[has]]
+            emit = coin < self.compiled.secondary_probability[
+                eids[has], fids[has]
+            ]
             em = sub[emit]
             if em.size:
                 offset = range_from_uniform(
@@ -614,13 +679,16 @@ class FleetEngine:
                 candidates.append(
                     t=np.asarray(after)[has][emit] + offset,
                     m=em,
-                    d=self._secondary_desc[fids[has][emit], slot],
+                    d=self._secondary_desc[
+                        self._class_ids[em], fids[has][emit], slot
+                    ],
                 )
 
     # ------------------------------------------------------------------
     def _decide_wave(
-        self, J, t_event, phase, fault_id, attempts, state_sid, action_id,
-        pending_cost, pending_forced, pending_source, pending_expected, log,
+        self, J, t_event, phase, cur_epoch, fault_id, attempts, state_sid,
+        action_id, pending_cost, pending_forced, pending_source,
+        pending_expected, log,
     ) -> None:
         cfg = self.config
         rand = self._rand
@@ -676,7 +744,9 @@ class FleetEngine:
             else:
                 uniforms = np.empty((0, sub.size))
             durations[in_group] = model.from_uniforms(uniforms)
-        durations = durations * self.compiled.cost_scale[fault_id[J]]
+        durations = durations * self.compiled.cost[
+            cur_epoch[J], self._class_ids[J], fault_id[J]
+        ]
 
         action_id[J] = aids
         pending_cost[J] = durations
@@ -688,8 +758,8 @@ class FleetEngine:
 
     # ------------------------------------------------------------------
     def _complete_wave(
-        self, K, t_event, phase, fault_id, noise_id, main_open, noise_open,
-        attempts, state_sid, action_id, cur_proc, pending_cost,
+        self, K, t_event, phase, cur_epoch, fault_id, noise_id, main_open,
+        noise_open, attempts, state_sid, action_id, cur_proc, pending_cost,
         pending_forced, pending_source, pending_expected, recovery_counts,
         log, candidates, steps, success_scatter,
     ) -> None:
@@ -700,15 +770,23 @@ class FleetEngine:
 
         # Cure checks, main fault first then the overlap — the same
         # per-machine order the reference iterates its uncured list in.
+        # Cure probabilities come from the process's onset epoch and the
+        # machine's class, exactly as the event backend looks them up.
         sub = K[main_open[K]]
         if sub.size:
             u = rand.uniform_wave(sub, CURES)
-            cured = u < com.cure[fault_id[sub], action_id[sub]]
+            cured = u < com.cure[
+                cur_epoch[sub], self._class_ids[sub],
+                fault_id[sub], action_id[sub],
+            ]
             main_open[sub] = ~cured
         subn = K[noise_open[K]]
         if subn.size:
             u = rand.uniform_wave(subn, CURES)
-            cured = u < com.cure[noise_id[subn], action_id[subn]]
+            cured = u < com.cure[
+                cur_epoch[subn], self._class_ids[subn],
+                noise_id[subn], action_id[subn],
+            ]
             noise_open[subn] = ~cured
 
         succeeded = ~(main_open[K] | noise_open[K])
@@ -764,7 +842,7 @@ class FleetEngine:
                     candidates.append(
                         t=tr[openr][emit] + offset,
                         m=em,
-                        d=self._primary_desc[ids[em]],
+                        d=self._primary_desc[self._class_ids[em], ids[em]],
                     )
             if cfg.decision_delay_mean > 0:
                 delay = exponential_from_uniform(
@@ -839,7 +917,7 @@ class FleetEngine:
 
 def simulate_cluster(
     config: ClusterConfig,
-    faults: FaultCatalog,
+    faults: FaultModel,
     policy: Policy,
     actions: Optional[ActionCatalog] = None,
     streams: Optional[RngStreams] = None,
@@ -854,9 +932,15 @@ def simulate_cluster(
     request with such a policy falls back to the *sequential reference
     backend under the machine RNG discipline* — producing exactly the
     trace the fleet backend defines, just without the vectorized
-    speed.
+    speed.  Cascading scenarios couple machines (an onset can induce a
+    neighbour's onset), so they likewise fall back to the event
+    backend; drifting and heterogeneous scenarios run on waves.
     """
-    if config.backend == "fleet" and policy.batch_safe:
+    if (
+        config.backend == "fleet"
+        and policy.batch_safe
+        and as_scenario_model(faults).fleet_compatible
+    ):
         engine = FleetEngine(
             config, faults, policy, actions, streams,
             episode_telemetry=episode_telemetry,

@@ -69,6 +69,9 @@ class Machine:
     #: Dense machine index used to address per-machine RNG channels;
     #: -1 for machines created outside a simulator.
     index: int = -1
+    #: Machine-class id under the active scenario model (0 when the
+    #: scenario is homogeneous).
+    class_id: int = 0
 
     def fail(self, fault: FaultType, noise_fault: Optional[FaultType] = None) -> None:
         """Transition HEALTHY -> FAILED with the given ground-truth fault."""

@@ -1,0 +1,193 @@
+"""Scenario-family experiment: policy comparison per workload family.
+
+The paper evaluates trained, hybrid and user-defined policies on one
+stationary workload.  The scenario-model layer opens three more
+families — catalog drift, heterogeneous machine classes and cascading
+faults — and this module runs the identical end-to-end pipeline
+(generate → mine → train → evaluate, reusing the Figure 8-12
+machinery in :mod:`repro.experiments.bundle`) once per family, so the
+policies can be compared under non-stationary conditions.
+
+The interesting readout is *degradation*: a trained policy's relative
+downtime on the stationary family is its best case; drift erodes it
+(later epochs follow rules the training prefix never saw), classes
+split every error type into per-class variants (thinner training data
+each), and cascades correlate onsets without changing per-process
+recovery structure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.bundle import train_fraction
+from repro.experiments.scenario import build_scenario
+from repro.scenario.presets import (
+    ScenarioSpec,
+    cascade_spec,
+    drift_spec,
+    heterogeneous_spec,
+)
+from repro.tracegen.workload import TraceConfig, default_config
+from repro.util.tables import render_table
+
+__all__ = [
+    "FAMILY_NAMES",
+    "FamilyResult",
+    "FamiliesReport",
+    "family_spec",
+    "run_family",
+    "scenario_families",
+]
+
+#: The workload families, in presentation order.
+FAMILY_NAMES: Tuple[str, ...] = (
+    "stationary",
+    "drift",
+    "heterogeneous",
+    "cascade",
+)
+
+
+def family_spec(family: str) -> Optional[ScenarioSpec]:
+    """The scenario spec defining ``family`` (``None`` = stationary)."""
+    if family == "stationary":
+        return None
+    if family == "drift":
+        return drift_spec()
+    if family == "heterogeneous":
+        return heterogeneous_spec()
+    if family == "cascade":
+        return cascade_spec()
+    raise ConfigurationError(
+        f"unknown workload family {family!r}; expected one of "
+        f"{list(FAMILY_NAMES)}"
+    )
+
+
+@dataclass(frozen=True)
+class FamilyResult:
+    """One family's end-to-end pipeline outcome.
+
+    Attributes
+    ----------
+    family:
+        Family name (see :data:`FAMILY_NAMES`).
+    epoch_count / class_count / cascading:
+        Shape of the concrete scenario model simulated.
+    process_count:
+        Completed recovery processes in the generated trace.
+    error_types:
+        Induced error types (after noise filtering, top-k capped).
+    user_cost / trained_cost / hybrid_cost:
+        Overall relative downtime of each policy on the held-out
+        remainder (1.0 = matches the log's policy; lower is better).
+    trained_coverage / hybrid_coverage:
+        Fraction of held-out processes each policy can handle.
+    """
+
+    family: str
+    epoch_count: int
+    class_count: int
+    cascading: bool
+    process_count: int
+    error_types: int
+    user_cost: float
+    trained_cost: float
+    hybrid_cost: float
+    trained_coverage: float
+    hybrid_coverage: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form for committed artifacts."""
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class FamiliesReport:
+    """Results across all families at one train fraction."""
+
+    fraction: float
+    results: Tuple[FamilyResult, ...]
+
+    def render(self) -> str:
+        rows = [
+            (
+                r.family,
+                f"{r.epoch_count}e/{r.class_count}c"
+                + ("/cascade" if r.cascading else ""),
+                f"{r.process_count:,}",
+                r.error_types,
+                f"{r.user_cost:.4f}",
+                f"{r.trained_cost:.4f}",
+                f"{r.hybrid_cost:.4f}",
+                f"{r.hybrid_coverage:.2%}",
+            )
+            for r in self.results
+        ]
+        return render_table(
+            [
+                "family", "shape", "processes", "types",
+                "user", "trained", "hybrid", "hybrid cov.",
+            ],
+            rows,
+            title=(
+                "Relative downtime per workload family "
+                f"(train fraction {self.fraction:g})"
+            ),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form for committed artifacts."""
+        return {
+            "fraction": self.fraction,
+            "families": [r.to_dict() for r in self.results],
+        }
+
+
+def run_family(
+    family: str,
+    config: Optional[TraceConfig] = None,
+    *,
+    fraction: float = 0.6,
+) -> FamilyResult:
+    """Run generate → mine → train → evaluate for one family."""
+    config = config if config is not None else default_config()
+    spec = family_spec(family)
+    if spec is not None:
+        config = dataclasses.replace(config, scenario=spec)
+    scenario = build_scenario(config)
+    bundle = train_fraction(scenario, fraction, use_cache=False)
+    model = scenario.trace.scenario
+    return FamilyResult(
+        family=family,
+        epoch_count=model.epoch_count if model is not None else 1,
+        class_count=model.class_count if model is not None else 1,
+        cascading=model.has_cascade if model is not None else False,
+        process_count=len(scenario.processes),
+        error_types=len(scenario.registry),
+        user_cost=bundle.user_eval.overall_relative_cost,
+        trained_cost=bundle.trained_eval.overall_relative_cost,
+        hybrid_cost=bundle.hybrid_eval.overall_relative_cost,
+        trained_coverage=bundle.trained_eval.overall_coverage,
+        hybrid_coverage=bundle.hybrid_eval.overall_coverage,
+    )
+
+
+def scenario_families(
+    config: Optional[TraceConfig] = None,
+    *,
+    fraction: float = 0.6,
+    families: Tuple[str, ...] = FAMILY_NAMES,
+) -> FamiliesReport:
+    """Run every workload family through the full pipeline."""
+    return FamiliesReport(
+        fraction=fraction,
+        results=tuple(
+            run_family(family, config, fraction=fraction)
+            for family in families
+        ),
+    )

@@ -18,6 +18,8 @@ from repro.cluster.fleet import simulate_cluster
 from repro.policies.base import Policy
 from repro.policies.user_defined import UserDefinedPolicy
 from repro.recoverylog.log import RecoveryLog
+from repro.scenario.model import FaultModel, ScenarioModel
+from repro.scenario.presets import build_scenario_model
 from repro.tracegen.catalog_gen import generate_fault_catalog
 from repro.tracegen.workload import TraceConfig
 from repro.util.rng import RngStreams
@@ -34,7 +36,11 @@ class GeneratedTrace:
     log:
         The recovery log — the only field the learning pipeline may read.
     fault_catalog:
-        Ground truth behind the log (tests/calibration only).
+        Ground truth behind the log: the base (epoch-0) catalog
+        (tests/calibration only).
+    scenario:
+        The concrete scenario model simulated, when the config carried a
+        scenario spec; ``None`` for plain stationary traces.
     config:
         The workload configuration that produced the trace.
     policy_name:
@@ -45,6 +51,7 @@ class GeneratedTrace:
     fault_catalog: FaultCatalog
     config: TraceConfig
     policy_name: str
+    scenario: Optional[ScenarioModel] = None
 
 
 class TraceGenerator:
@@ -76,10 +83,21 @@ class TraceGenerator:
     def generate(self) -> GeneratedTrace:
         """Run the simulation and return the trace bundle."""
         catalog = generate_fault_catalog(self.config.catalog, self.config.seed)
+        scenario: Optional[ScenarioModel] = None
+        faults: FaultModel = catalog
+        spec = self.config.scenario
+        if spec is not None and not spec.is_trivial:
+            scenario = build_scenario_model(
+                catalog,
+                spec,
+                duration=self.config.cluster.duration,
+                seed=self.config.seed,
+            )
+            faults = scenario
         streams = RngStreams(self.config.seed)
         log = simulate_cluster(
             self.config.cluster,
-            catalog,
+            faults,
             self.policy,
             self.actions,
             streams,
@@ -89,6 +107,7 @@ class TraceGenerator:
             fault_catalog=catalog,
             config=self.config,
             policy_name=self.policy.name,
+            scenario=scenario,
         )
 
 

@@ -69,6 +69,20 @@ class SyntheticStreamConfig:
         Mean seconds per repair attempt.
     max_actions:
         Longest action ladder tried before success (1..4).
+    drift_epochs:
+        Cyclic catalog-drift epochs: during epoch ``e`` the error-type
+        distribution rotates by ``e`` positions, shifting which types
+        dominate.  1 (the default) reproduces the stationary stream
+        byte for byte; drift resolution consumes zero RNG draws, so
+        every other entry is unchanged.
+    drift_period:
+        Seconds per drift epoch (the schedule cycles, since a stream
+        has no finite duration to split).
+    machine_classes:
+        Heterogeneous machine classes; machines split into contiguous
+        blocks and their symptoms are decorated ``symptom@c<id>``,
+        mirroring the cluster scenario model.  1 (the default) leaves
+        names undecorated.
     """
 
     machines: int = 1_000
@@ -81,6 +95,9 @@ class SyntheticStreamConfig:
     detection_delay: float = 60.0
     mean_action_duration: float = 1_800.0
     max_actions: int = 4
+    drift_epochs: int = 1
+    drift_period: float = 30 * 86_400.0
+    machine_classes: int = 1
 
     def __post_init__(self) -> None:
         if self.machines < 1:
@@ -100,6 +117,18 @@ class SyntheticStreamConfig:
             raise ConfigurationError(
                 "noise_probability must be in [0, 1], "
                 f"got {self.noise_probability}"
+            )
+        if self.drift_epochs < 1:
+            raise ConfigurationError(
+                f"drift_epochs must be >= 1, got {self.drift_epochs}"
+            )
+        if self.drift_period <= 0:
+            raise ConfigurationError(
+                f"drift_period must be positive, got {self.drift_period}"
+            )
+        if self.machine_classes < 1:
+            raise ConfigurationError(
+                f"machine_classes must be >= 1, got {self.machine_classes}"
             )
 
 
@@ -133,6 +162,13 @@ def _machine_stream(
         for i in range(_BLOCK):
             etype = int(etypes[i])
             onset = cursor + float(gaps[i])
+            if config.drift_epochs > 1:
+                # Cyclic drift: rotate the type distribution by the
+                # onset's epoch.  Pure arithmetic on the already-drawn
+                # type — zero extra RNG draws, so the default stream is
+                # untouched.
+                epoch = int(onset // config.drift_period) % config.drift_epochs
+                etype = (etype + epoch) % n_types
             yield LogEntry.symptom(onset, machine, type_names[etype])
             pool = pools[etype]
             for j in range(int(extra_counts[i])):
@@ -181,9 +217,28 @@ def iter_synthetic_log(
         )
         for index in range(config.error_types)
     )
+    # Per-class decorated symptom tables, mirroring the cluster scenario
+    # model's ``symptom@class`` convention; one undecorated table when
+    # homogeneous.
+    C = config.machine_classes
+    if C > 1:
+        names_by_class = tuple(
+            tuple(f"{n}@c{cid}" for n in type_names) for cid in range(C)
+        )
+        pools_by_class = tuple(
+            tuple(tuple(f"{s}@c{cid}" for s in pool) for pool in pools)
+            for cid in range(C)
+        )
+    else:
+        names_by_class = (type_names,)
+        pools_by_class = (pools,)
     streams: List[Iterator[LogEntry]] = [
         _machine_stream(
-            f"m-{index:0{width}d}", config.seed, config, type_names, pools
+            f"m-{index:0{width}d}",
+            config.seed,
+            config,
+            names_by_class[index * C // config.machines],
+            pools_by_class[index * C // config.machines],
         )
         for index in range(config.machines)
     ]

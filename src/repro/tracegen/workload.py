@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cluster.cluster import SECONDS_PER_DAY, ClusterConfig
+from repro.scenario.presets import ScenarioSpec
 from repro.tracegen.catalog_gen import CatalogSpec
 
 __all__ = ["TraceConfig", "default_config", "paper_scale_config"]
@@ -32,12 +33,17 @@ class TraceConfig:
         Cluster simulation parameters.
     catalog:
         Synthetic fault-catalog parameters.
+    scenario:
+        Non-stationary structure layered over the generated catalog
+        (drift epochs, machine classes, cascades).  ``None`` — or a
+        trivial spec — takes exactly the legacy stationary path.
     seed:
         Root seed for the catalog and the simulation RNG streams.
     """
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     catalog: CatalogSpec = field(default_factory=CatalogSpec)
+    scenario: Optional[ScenarioSpec] = None
     seed: Optional[int] = 7
 
 

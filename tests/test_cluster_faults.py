@@ -123,6 +123,70 @@ class TestEffectiveCureProbabilities:
             effective_cure_probabilities(f, default_catalog())
 
 
+class TestValidationErrorContext:
+    """Validation failures must name the offending fault and field —
+    a 40-fault generated catalog is undebuggable otherwise."""
+
+    def test_bad_cure_probability_names_fault_and_action(self):
+        with pytest.raises(
+            ConfigurationError,
+            match=r"fault 'flaky'.*cure_probabilities\['REBOOT'\]",
+        ):
+            fault("flaky", cures={"REBOOT": 1.5})
+
+    def test_bad_secondary_probability_names_fault(self):
+        with pytest.raises(
+            ConfigurationError, match="fault 'flaky'.*secondary_probability"
+        ):
+            fault("flaky", secondary_probability=-0.1)
+
+    def test_bad_weight_names_fault(self):
+        with pytest.raises(ConfigurationError, match="fault 'flaky'.*weight"):
+            fault("flaky", weight=0.0)
+
+    def test_bad_cost_scale_names_fault(self):
+        with pytest.raises(
+            ConfigurationError, match="fault 'flaky'.*cost_scale"
+        ):
+            fault("flaky", cost_scale=-1.0)
+
+    def test_repeated_primary_names_fault_and_symptom(self):
+        with pytest.raises(
+            ConfigurationError, match="fault 'flaky'.*'error:X'"
+        ):
+            FaultType(
+                name="flaky",
+                primary_symptom="error:X",
+                secondary_symptoms=("error:X",),
+            )
+
+    def test_duplicate_names_listed(self):
+        with pytest.raises(ConfigurationError, match=r"duplicated: \['a'\]"):
+            FaultCatalog([fault("a"), fault("a", primary="error:Y")])
+
+    def test_colliding_primaries_name_both_faults(self):
+        with pytest.raises(
+            ConfigurationError, match=r"'error:X'.*\['a', 'b'\]"
+        ):
+            FaultCatalog([fault("a"), fault("b")])
+
+    def test_monotonicity_error_names_fault_and_actions(self):
+        catalog = FaultCatalog(
+            [fault("hard", cures={"TRYNOP": 0.9, "REBOOT": 0.1})]
+        )
+        with pytest.raises(
+            ConfigurationError, match="fault 'hard'.*REBOOT.*monotone"
+        ):
+            validate_fault_catalog(catalog, default_catalog())
+
+    def test_unknown_action_error_names_fault_and_action(self):
+        catalog = FaultCatalog([fault("hard", cures={"FSCK": 0.5})])
+        with pytest.raises(
+            ConfigurationError, match="fault 'hard'.*unknown action 'FSCK'"
+        ):
+            validate_fault_catalog(catalog, default_catalog())
+
+
 class TestValidateFaultCatalog:
     def test_monotone_cures_pass(self):
         catalog = FaultCatalog(

@@ -30,6 +30,8 @@ from repro.cluster.fleet import FleetEngine, simulate_cluster
 from repro.errors import ConfigurationError, UnhandledStateError
 from repro.mdp.state import RecoveryState
 from repro.policies.base import Policy, PolicyDecision
+from repro.scenario.model import ScenarioModel
+from repro.scenario.presets import ScenarioSpec, build_scenario_model
 from repro.policies.hybrid import HybridPolicy
 from repro.policies.static import AlwaysStrongestPolicy
 from repro.policies.trained import TrainedPolicy
@@ -90,6 +92,51 @@ def fault_catalogs(draw) -> FaultCatalog:
             )
         )
     return FaultCatalog(faults)
+
+
+def scenario_trained_chain(draw, scenario: ScenarioModel, max_actions: int):
+    """A trained policy whose rule chains cover every *class-decorated*
+    error symptom — the per-(class, type) analogue of
+    :func:`trained_chain_policy`."""
+    action_names = [a.name for a in CATALOG.by_strength()]
+    rules = {}
+    for class_id in range(scenario.class_count):
+        for fault in scenario.base_catalog:
+            symptom = scenario.decorate(fault.primary_symptom, class_id)
+            tried = ()
+            for _step in range(max_actions - 1):
+                action = draw(st.sampled_from(action_names))
+                cost = draw(st.floats(1.0, 1e5, allow_nan=False))
+                rules[RecoveryState(symptom, False, tried)] = (action, cost)
+                tried = tried + (action,)
+    return TrainedPolicy(rules)
+
+
+@st.composite
+def scenario_specs(draw) -> ScenarioSpec:
+    """Non-trivial drift / machine-class specs (fleet-compatible: no
+    cascade, which the fleet backend rejects by design)."""
+    epochs = draw(st.integers(1, 3))
+    classes = draw(st.integers(1, 3))
+    if epochs == 1 and classes == 1:
+        classes = 2  # keep the spec non-trivial
+    return ScenarioSpec(
+        drift_epochs=epochs,
+        drift_strength=draw(st.floats(0.1, 1.5, allow_nan=False)),
+        machine_classes=classes,
+        class_cost_spread=draw(st.floats(0.0, 0.9, allow_nan=False)),
+        class_cure_spread=draw(st.floats(0.0, 0.6, allow_nan=False)),
+    )
+
+
+@st.composite
+def scenario_models_for(draw, catalog, duration) -> ScenarioModel:
+    return build_scenario_model(
+        catalog,
+        draw(scenario_specs()),
+        duration=duration,
+        seed=draw(st.integers(0, 2**16)),
+    )
 
 
 @st.composite
@@ -264,6 +311,42 @@ class TestFuzzEquivalence:
         # runs).
         outputs = run_both(
             params, faults, lambda: copy.deepcopy(policy_spec), seed
+        )
+        assert_equivalent(*outputs)
+
+    @given(data=st.data())
+    @settings(
+        max_examples=80,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_drift_and_class_scenarios(self, data):
+        """Scenario-model sweep: drifting epochs and heterogeneous
+        machine classes must stay bit-identical across backends."""
+        params = data.draw(cluster_configs())
+        catalog = data.draw(fault_catalogs())
+        scenario = data.draw(
+            scenario_models_for(catalog, params["duration"])
+        )
+        family = data.draw(
+            st.sampled_from(["user", "strongest", "trained", "hybrid"])
+        )
+        if family == "user":
+            policy_spec = UserDefinedPolicy(CATALOG)
+        elif family == "strongest":
+            policy_spec = AlwaysStrongestPolicy(CATALOG)
+        else:
+            trained = scenario_trained_chain(
+                data.draw, scenario, params["max_actions"]
+            )
+            policy_spec = (
+                trained
+                if family == "trained"
+                else HybridPolicy(trained, UserDefinedPolicy(CATALOG))
+            )
+        seed = data.draw(st.integers(0, 2**32 - 1))
+        outputs = run_both(
+            params, scenario, lambda: copy.deepcopy(policy_spec), seed
         )
         assert_equivalent(*outputs)
 
